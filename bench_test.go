@@ -1,0 +1,358 @@
+// Benchmarks: one per figure panel of the paper's evaluation, each running
+// the analysis stage that regenerates that panel's series on a shared
+// bench-scale trace, plus the ablation benches called out in DESIGN.md §5.
+// Run e.g.:
+//
+//	go test -bench=Fig3c -benchmem
+//	go test -bench=Ablation -benchmem
+//
+// Each benchmark reports headline values through b.Log on the first
+// iteration, so `go test -bench=. -v` doubles as the figure harness.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/louvain"
+	"repro/internal/metrics"
+	"repro/internal/osnmerge"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracking"
+)
+
+var (
+	benchOnce sync.Once
+	benchTr   *trace.Trace
+	benchErr  error
+)
+
+// benchTrace generates the shared bench-scale trace (the SmallConfig
+// Renren+5Q scenario) once, outside any timer.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchTr, benchErr = gen.Generate(gen.SmallConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTr
+}
+
+// metricsResult runs the Fig 1 stage only.
+func metricsResult(b *testing.B, tr *trace.Trace) *core.Result {
+	cfg := core.DefaultConfig()
+	cfg.SkipEvolution = true
+	cfg.SkipCommunity = true
+	cfg.SkipMerge = true
+	cfg.PathEvery = 15
+	cfg.PathSources = 50
+	res, err := core.Run(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func benchFigure(b *testing.B, id string, run func(*trace.Trace) (*core.Result, error)) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab, err := res.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %q, %d rows, notes=%v", id, tab.Title, len(tab.Rows), tab.Notes)
+		}
+	}
+}
+
+// --- Fig 1: network-level metrics ---
+
+func fig1Run(b *testing.B) func(*trace.Trace) (*core.Result, error) {
+	return func(tr *trace.Trace) (*core.Result, error) { return metricsResult(b, tr), nil }
+}
+
+func BenchmarkFig1a(b *testing.B) { benchFigure(b, "fig1a", fig1Run(b)) }
+func BenchmarkFig1b(b *testing.B) { benchFigure(b, "fig1b", fig1Run(b)) }
+func BenchmarkFig1c(b *testing.B) { benchFigure(b, "fig1c", fig1Run(b)) }
+func BenchmarkFig1d(b *testing.B) { benchFigure(b, "fig1d", fig1Run(b)) }
+func BenchmarkFig1e(b *testing.B) { benchFigure(b, "fig1e", fig1Run(b)) }
+func BenchmarkFig1f(b *testing.B) { benchFigure(b, "fig1f", fig1Run(b)) }
+
+// --- Fig 2–3: node-level edge evolution and PA strength ---
+
+func evolutionRun(tr *trace.Trace) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipCommunity = true
+	cfg.SkipMerge = true
+	cfg.Alpha = evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, PolyDegree: 3}
+	return core.Run(tr, cfg)
+}
+
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, "fig2a", evolutionRun) }
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, "fig2b", evolutionRun) }
+func BenchmarkFig2c(b *testing.B) { benchFigure(b, "fig2c", evolutionRun) }
+func BenchmarkFig3a(b *testing.B) { benchFigure(b, "fig3a", evolutionRun) }
+func BenchmarkFig3b(b *testing.B) { benchFigure(b, "fig3b", evolutionRun) }
+func BenchmarkFig3c(b *testing.B) { benchFigure(b, "fig3c", evolutionRun) }
+
+// --- Fig 4: δ sensitivity sweep ---
+
+func deltaSweepRun(tr *trace.Trace) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipEvolution = true
+	cfg.SkipMerge = true
+	cfg.Community.SizeDistDays = []int32{251}
+	cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
+	return core.Run(tr, cfg)
+}
+
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "fig4a", deltaSweepRun) }
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "fig4b", deltaSweepRun) }
+func BenchmarkFig4c(b *testing.B) { benchFigure(b, "fig4c", deltaSweepRun) }
+
+// --- Fig 5–7: community statistics, prediction, user impact ---
+
+func communityRun(tr *trace.Trace) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipEvolution = true
+	cfg.SkipMerge = true
+	cfg.Community.SizeDistDays = []int32{200, 251, 296}
+	return core.Run(tr, cfg)
+}
+
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "fig5a", communityRun) }
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "fig5b", communityRun) }
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, "fig5c", communityRun) }
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "fig6a", communityRun) }
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "fig6b", communityRun) }
+func BenchmarkFig6c(b *testing.B) { benchFigure(b, "fig6c", communityRun) }
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "fig7a", communityRun) }
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "fig7b", communityRun) }
+func BenchmarkFig7c(b *testing.B) { benchFigure(b, "fig7c", communityRun) }
+
+// --- Fig 8–9: network merge ---
+
+func mergeRun(tr *trace.Trace) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipEvolution = true
+	cfg.SkipCommunity = true
+	return core.Run(tr, cfg)
+}
+
+func BenchmarkFig8a(b *testing.B) { benchFigure(b, "fig8a", mergeRun) }
+func BenchmarkFig8b(b *testing.B) { benchFigure(b, "fig8b", mergeRun) }
+func BenchmarkFig8c(b *testing.B) { benchFigure(b, "fig8c", mergeRun) }
+func BenchmarkFig9a(b *testing.B) { benchFigure(b, "fig9a", mergeRun) }
+func BenchmarkFig9b(b *testing.B) { benchFigure(b, "fig9b", mergeRun) }
+func BenchmarkFig9c(b *testing.B) { benchFigure(b, "fig9c", mergeRun) }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationDestSelection quantifies the §3.2 destination-rule
+// ambiguity: fitted α under the higher-degree vs random endpoint rules.
+func BenchmarkAblationDestSelection(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := evolution.AnalyzeAlpha(tr.Events, evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("alpha(higher)=%.3f mse=%.2e | alpha(random)=%.3f mse=%.2e | gap=%.3f",
+				res.FinalAlphaHigher, res.FinalMSEHigher,
+				res.FinalAlphaRandom, res.FinalMSERandom,
+				res.FinalAlphaHigher-res.FinalAlphaRandom)
+		}
+	}
+}
+
+// BenchmarkAblationIncremental compares tracking stability (average
+// cross-snapshot similarity) with and without the incremental Louvain seed.
+func BenchmarkAblationIncremental(b *testing.B) {
+	tr := benchTrace(b)
+	avgSim := func(incremental bool) float64 {
+		var prev []int32
+		var sum float64
+		var n int
+		tracker := tracking.NewTracker(10)
+		_, err := trace.Replay(tr.Events, trace.Hooks{
+			OnDayEnd: func(st *trace.State, day int32) {
+				if day < 20 || (day-20)%6 != 0 || st.Graph.NumNodes() < 64 {
+					return
+				}
+				var init []int32
+				if incremental && prev != nil {
+					init = make([]int32, st.Graph.NumNodes())
+					for i := range init {
+						if i < len(prev) {
+							init[i] = prev[i]
+						} else {
+							init[i] = -1
+						}
+					}
+				}
+				lr, err := louvain.Run(st.Graph, louvain.Options{Delta: 0.04, MaxLevels: 1, Seed: 1, Init: init})
+				if err != nil {
+					b.Fatal(err)
+				}
+				prev = lr.Community
+				snap := tracker.Advance(day, st.Graph, tracking.Assignment(lr.Community))
+				if snap.AvgSimilarity > 0 {
+					sum += snap.AvgSimilarity
+					n++
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := avgSim(true)
+		cold := avgSim(false)
+		if i == 0 {
+			b.Logf("avg similarity: incremental=%.3f cold=%.3f", inc, cold)
+		}
+	}
+}
+
+// BenchmarkAblationPADecay is the control experiment for Fig 3c: with the
+// PA-decay mechanism disabled (constant mixing weight), α(t) stays flat.
+func BenchmarkAblationPADecay(b *testing.B) {
+	mkTrace := func(slope float64) *trace.Trace {
+		cfg := gen.SmallConfig()
+		cfg.Merge = nil
+		cfg.Attach.PALogSlope = slope
+		tr, err := gen.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	measure := func(tr *trace.Trace) (first, last float64) {
+		res, err := evolution.AnalyzeAlpha(tr.Events, evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Samples[0].AlphaHigher, res.Samples[len(res.Samples)-1].AlphaHigher
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		df, dl := measure(mkTrace(gen.SmallConfig().Attach.PALogSlope))
+		ff, fl := measure(mkTrace(0))
+		if i == 0 {
+			b.Logf("with decay: alpha %.3f -> %.3f (Δ%.3f) | constant PA: %.3f -> %.3f (Δ%.3f)",
+				df, dl, dl-df, ff, fl, fl-ff)
+		}
+	}
+}
+
+// BenchmarkAblationTriangleClosure shows triangle closure's effect on the
+// final clustering coefficient and modularity.
+func BenchmarkAblationTriangleClosure(b *testing.B) {
+	build := func(p float64) (clustering, modularity float64) {
+		cfg := gen.SmallConfig()
+		cfg.Merge = nil
+		cfg.Days = 200
+		cfg.Attach.TriangleProb = p
+		tr, err := gen.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := trace.Replay(tr.Events, trace.Hooks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stats.NewRand(1)
+		cl := metrics.SampledClustering(st.Graph, 1000, rng)
+		lr, err := louvain.Run(st.Graph, louvain.Options{Delta: 0.04, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cl, lr.Modularity
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c1, m1 := build(gen.SmallConfig().Attach.TriangleProb)
+		c0, m0 := build(0)
+		if i == 0 {
+			b.Logf("triangle on:  clustering=%.3f modularity=%.3f", c1, m1)
+			b.Logf("triangle off: clustering=%.3f modularity=%.3f", c0, m0)
+		}
+	}
+}
+
+// BenchmarkSubstrates microbenchmarks the hot substrate operations.
+func BenchmarkSubstrateBFS(b *testing.B) {
+	tr := benchTrace(b)
+	st, err := trace.Replay(tr.Events, trace.Hooks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Graph.BFS(graph.NodeID(i % st.Graph.NumNodes()))
+	}
+}
+
+func BenchmarkSubstrateLouvain(b *testing.B) {
+	tr := benchTrace(b)
+	st, err := trace.Replay(tr.Events, trace.Hooks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := louvain.Run(st.Graph, louvain.Options{Delta: 0.04, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateGenerate(b *testing.B) {
+	cfg := gen.SmallConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := gen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateMergeAnalysis(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, osnmerge.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Silence unused-import gymnastics for packages used only in some benches.
+var _ = community.FeatureCount

@@ -1,0 +1,139 @@
+// Command figures regenerates the paper's figure data end to end: it
+// generates a synthetic trace (or loads one), runs the multi-scale
+// pipeline, and prints the requested panel(s) as TSV.
+//
+// Usage:
+//
+//	figures -fig fig3c                  # one panel on the small preset
+//	figures -fig all -preset default    # every panel at the default scale
+//	figures -fig fig4a -sweep 0.01,0.1  # the δ sweep panels
+//	figures -trace renren.trace -fig fig8c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	fig := flag.String("fig", "all", "figure id (e.g. fig3c) or \"all\"")
+	preset := flag.String("preset", "small", "generator preset when no trace file is given: small or default")
+	tracePath := flag.String("trace", "", "optional trace file (overrides -preset)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	sweep := flag.String("sweep", "", "comma-separated δ values; required for fig4*")
+	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		tr, err = trace.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("decode: %v", err)
+		}
+	} else {
+		var cfg gen.Config
+		switch *preset {
+		case "small":
+			cfg = gen.SmallConfig()
+		case "default":
+			cfg = gen.DefaultConfig()
+		default:
+			log.Fatalf("unknown preset %q", *preset)
+		}
+		cfg.Seed = *seed
+		tr, err = gen.Generate(cfg)
+		if err != nil {
+			log.Fatalf("generate: %v", err)
+		}
+	}
+	log.Printf("trace: %d nodes, %d edges, %d days, merge day %d",
+		tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.Days, tr.Meta.MergeDay)
+
+	wanted := map[string]bool{}
+	if *fig == "all" {
+		for _, id := range core.AllFigures {
+			wanted[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	if *snapshotEvery > 0 {
+		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
+	}
+	// Only run the stages the requested figures need.
+	need := func(prefixes ...string) bool {
+		for id := range wanted {
+			for _, p := range prefixes {
+				if strings.HasPrefix(id, p) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	cfg.SkipMetrics = !need("fig1")
+	cfg.SkipEvolution = !need("fig2", "fig3")
+	cfg.SkipCommunity = !need("fig4", "fig5", "fig6", "fig7")
+	cfg.SkipMerge = !need("fig8", "fig9")
+	if !cfg.SkipCommunity {
+		d := tr.Meta.Days
+		grid := func(x int32) int32 {
+			if x < cfg.Community.StartDay {
+				return cfg.Community.StartDay
+			}
+			return x - (x-cfg.Community.StartDay)%cfg.Community.SnapshotEvery
+		}
+		cfg.Community.SizeDistDays = []int32{grid(d / 2), grid(d * 3 / 4), grid(d - 1)}
+	}
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad sweep value %q: %v", s, err)
+			}
+			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
+		}
+	} else if need("fig4") {
+		cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
+	}
+
+	res, err := core.Run(tr, cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	for _, id := range core.AllFigures {
+		if !wanted[id] {
+			continue
+		}
+		tab, err := res.Figure(id)
+		if err != nil {
+			log.Printf("%s: %v", id, err)
+			continue
+		}
+		if err := tab.WriteTSV(os.Stdout); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,134 @@
+// Command rranalyze runs the full multi-scale analysis pipeline on a trace
+// file produced by rrgen and writes one TSV per figure panel into an output
+// directory.
+//
+// Usage:
+//
+//	rranalyze -trace renren.trace -out figures/
+//	rranalyze -trace renren.trace -out figures/ -sweep 0.0001,0.01,0.04,0.1,0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rranalyze: ")
+
+	tracePath := flag.String("trace", "", "input trace file (required)")
+	outDir := flag.String("out", "figures", "output directory for per-figure TSVs")
+	sweep := flag.String("sweep", "", "comma-separated δ values for the Fig 4 sweep (expensive)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
+	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
+	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("decode: %v", err)
+	}
+	log.Printf("loaded %s: %d nodes, %d edges, %d days, merge day %d",
+		*tracePath, tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.Days, tr.Meta.MergeDay)
+
+	cfg := core.DefaultConfig()
+	if *snapshotEvery > 0 {
+		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
+	}
+	cfg.Community.SizeDistDays = parseDays(*distDays, tr.Meta.Days, cfg.Community.StartDay, cfg.Community.SnapshotEvery)
+	for _, s := range strings.Split(*skip, ",") {
+		switch strings.TrimSpace(s) {
+		case "metrics":
+			cfg.SkipMetrics = true
+		case "evolution":
+			cfg.SkipEvolution = true
+		case "community":
+			cfg.SkipCommunity = true
+		case "merge":
+			cfg.SkipMerge = true
+		case "":
+		default:
+			log.Fatalf("unknown stage %q", s)
+		}
+	}
+	if *sweep != "" {
+		for _, d := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
+			if err != nil {
+				log.Fatalf("bad sweep value %q: %v", d, err)
+			}
+			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
+		}
+	}
+
+	res, err := core.Run(tr, cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	written := 0
+	for _, id := range core.AllFigures {
+		tab, err := res.Figure(id)
+		if err != nil {
+			log.Printf("skipping %s: %v", id, err)
+			continue
+		}
+		path := filepath.Join(*outDir, id+".tsv")
+		out, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("create %s: %v", path, err)
+		}
+		if err := tab.WriteTSV(out); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		out.Close()
+		written++
+	}
+	fmt.Printf("wrote %d figure tables to %s\n", written, *outDir)
+}
+
+// parseDays parses -dist-days, defaulting to three evenly spaced days in
+// the trace's second half, snapped onto the snapshot grid.
+func parseDays(s string, days, startDay, every int32) []int32 {
+	if s != "" {
+		var out []int32
+		for _, d := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(d))
+			if err != nil {
+				log.Fatalf("bad dist day %q: %v", d, err)
+			}
+			out = append(out, int32(v))
+		}
+		return out
+	}
+	if days <= 0 {
+		return nil
+	}
+	snap := func(d int32) int32 {
+		if d < startDay {
+			return startDay
+		}
+		return d - (d-startDay)%every
+	}
+	return []int32{snap(days / 2), snap(days * 3 / 4), snap(days - 1)}
+}

@@ -1,0 +1,73 @@
+// Command rrgen generates a synthetic Renren-like dynamic-network trace and
+// writes it in the binary trace format.
+//
+// Usage:
+//
+//	rrgen -preset default -seed 1 -out renren.trace
+//	rrgen -preset small -days 250 -out small.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rrgen: ")
+
+	preset := flag.String("preset", "default", "config preset: default (771 days, ~10^5 nodes) or small")
+	seed := flag.Int64("seed", 1, "generator seed")
+	days := flag.Int("days", 0, "override trace length in days (0 = preset value)")
+	maxNodes := flag.Int("max-nodes", 0, "override node cap (0 = preset value)")
+	noMerge := flag.Bool("no-merge", false, "disable the 5Q network merge event")
+	out := flag.String("out", "renren.trace", "output file")
+	flag.Parse()
+
+	var cfg gen.Config
+	switch *preset {
+	case "default":
+		cfg = gen.DefaultConfig()
+	case "small":
+		cfg = gen.SmallConfig()
+	default:
+		log.Fatalf("unknown preset %q (want default or small)", *preset)
+	}
+	cfg.Seed = *seed
+	if *days > 0 {
+		cfg.Days = int32(*days)
+		if cfg.Merge != nil && cfg.Merge.Day >= cfg.Days {
+			cfg.Merge = nil
+		}
+	}
+	if *maxNodes > 0 {
+		cfg.MaxNodes = *maxNodes
+	}
+	if *noMerge {
+		cfg.Merge = nil
+	}
+
+	tr, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	if err := trace.Encode(f, tr); err != nil {
+		log.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	m := tr.Meta
+	fmt.Printf("wrote %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
+		*out, m.Days, m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, m.MergeDay)
+}

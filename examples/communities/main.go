@@ -1,0 +1,93 @@
+// communities reproduces the §4 workflow (Figs 4–7): incremental Louvain
+// with similarity-based tracking, community lifecycle statistics, SVM merge
+// prediction, and the impact of community membership on users.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/community"
+	"repro/internal/gen"
+	"repro/internal/svm"
+	"repro/internal/tracking"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tr, err := gen.Generate(gen.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d nodes, %d edges, merge day %d\n",
+		tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.MergeDay)
+
+	opt := community.DefaultOptions() // δ=0.04, 3-day snapshots, min size 10
+	res, err := community.Run(tr.Events, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig 4a: community structure strength.
+	lastStat := res.Stats[len(res.Stats)-1]
+	fmt.Printf("fig4a: %d snapshots; final modularity %.2f with %d communities\n",
+		len(res.Stats), lastStat.Modularity, lastStat.NumCommunities)
+
+	// Fig 5: statistics over time.
+	fmt.Printf("fig5b: top-5 coverage %.0f%% -> %.0f%%\n",
+		100*res.Stats[2].Top5Coverage, 100*lastStat.Top5Coverage)
+	ls := res.Lifetimes()
+	fmt.Printf("fig5c: %d tracked communities, median lifetime %.0f days\n",
+		len(ls), ls[len(ls)/2])
+
+	// Fig 6: lifecycle events.
+	var births, deaths, merges, splits int
+	for _, ev := range res.Events {
+		switch ev.Type {
+		case tracking.Birth:
+			births++
+		case tracking.Death:
+			deaths++
+		case tracking.Merge:
+			merges++
+		case tracking.Split:
+			splits++
+		}
+	}
+	fmt.Printf("events: %d births, %d merges, %d splits, %d dissolutions\n",
+		births, merges, splits, deaths)
+	mr, sr := res.SizeRatios()
+	if len(mr) > 0 {
+		fmt.Printf("fig6a: median merge size ratio %.4f over %d merges (paper: tiny, <0.005 for 80%%)\n",
+			mr[len(mr)/2], len(mr))
+	}
+	if len(sr) > 0 {
+		fmt.Printf("fig6a: median split size ratio %.3f over %d splits\n", sr[len(sr)/2], len(sr))
+	}
+	if _, frac := res.StrongestTies(); merges > 0 {
+		fmt.Printf("fig6c: %.0f%% of merges chose the strongest-tie destination (paper: 99%%)\n", 100*frac)
+	}
+
+	// Fig 6b: SVM merge prediction.
+	ds := community.BuildMergeDataset(res, tr.Meta.MergeDay)
+	bins, overall, err := community.EvaluateMergePrediction(ds, 20, svm.Options{Seed: 7})
+	if err != nil {
+		log.Printf("merge prediction skipped: %v", err)
+	} else {
+		fmt.Printf("fig6b: overall accuracy %.0f%% (pos %.0f%%, neg %.0f%%) on %d held-out samples, %d age bins\n",
+			100*overall.Accuracy, 100*overall.PosAccuracy, 100*overall.NegAccuracy, overall.N, len(bins))
+	}
+
+	// Fig 7: impact of community membership on users.
+	ui := community.AnalyzeUsers(tr.Events, res, nil)
+	fmt.Printf("fig7a: %d community-user gaps vs %d non-community gaps\n",
+		len(ui.CommunityGaps), len(ui.NonCommunityGaps))
+	for name, lifetimes := range ui.LifetimesBySize {
+		if len(lifetimes) == 0 {
+			continue
+		}
+		fmt.Printf("fig7b: bucket %-14s median lifetime %5.0f days (%d users)\n",
+			name, lifetimes[len(lifetimes)/2], len(lifetimes))
+	}
+}

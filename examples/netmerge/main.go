@@ -1,0 +1,62 @@
+// netmerge reproduces the §5 workflow (Figs 8–9): the Xiaonei/5Q merge —
+// duplicate-account estimation, edge-type dynamics, and the collapse of the
+// distance between the two networks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/osnmerge"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := gen.SmallConfig()
+	tr, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d xiaonei + %d 5q users at the merge (day %d), %d later arrivals\n",
+		tr.Meta.Xiaonei, tr.Meta.FiveQ, tr.Meta.MergeDay, tr.Meta.NewUsers)
+
+	res, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, osnmerge.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("activity threshold: %d days (the paper's t=94 analogue)\n", res.ActivityThreshold)
+
+	// Fig 8a/8b: duplicate accounts.
+	fmt.Printf("fig8ab: immediately inactive accounts: xiaonei %.0f%%, 5q %.0f%% "+
+		"(generator planted 11%% / 28%%)\n",
+		100*res.InactiveAtMergeXiaonei, 100*res.InactiveAtMergeFiveQ)
+
+	// Fig 8c: which edge type drives growth, and when the crossover happens.
+	crossover := int32(-1)
+	for _, d := range res.EdgesPerDay {
+		if d.NewUsers > d.Internal && d.NewUsers > d.External {
+			crossover = d.Day
+			break
+		}
+	}
+	fmt.Printf("fig8c: new-user edges first dominate on day +%d after the merge\n", crossover)
+
+	// Fig 9a/9b: edge-type preferences per network.
+	lastX := res.RatiosXiaonei[len(res.RatiosXiaonei)-1]
+	lastQ := res.RatiosFiveQ[len(res.RatiosFiveQ)-1]
+	fmt.Printf("fig9a: final internal/external ratio: xiaonei %.2f, 5q %.2f\n",
+		lastX.IntOverExt, lastQ.IntOverExt)
+	fmt.Printf("fig9b: final new/external ratio:      xiaonei %.2f, 5q %.2f\n",
+		lastX.NewOverExt, lastQ.NewOverExt)
+
+	// Fig 9c: the two OSNs become one connected whole.
+	fmt.Println("fig9c: inter-OSN distance (pre-merge users only):")
+	for i, p := range res.Distances {
+		if i%4 == 0 || i == len(res.Distances)-1 {
+			fmt.Printf("  day +%3d: xiaonei->5q %.2f hops, 5q->xiaonei %.2f hops\n",
+				p.DaysAfter, p.XiaoneiTo5Q, p.FiveQToXiaonei)
+		}
+	}
+}

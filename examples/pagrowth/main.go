@@ -1,0 +1,81 @@
+// pagrowth reproduces the §3 workflow (Figs 2–3): how edge creation behaves
+// in absolute time and how the strength of preferential attachment decays
+// as the network grows — including the control run with the decay disabled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/evolution"
+	"repro/internal/gen"
+)
+
+func analyze(name string, cfg gen.Config) {
+	tr, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s: %d nodes, %d edges ---\n", name, tr.Meta.Nodes, tr.Meta.Edges)
+
+	// Fig 2: time dynamics of edge creation.
+	ev, err := evolution.Analyze(tr.Events, evolution.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1 := ev.InterArrival[0]
+	fmt.Printf("fig2a: month-1 inter-arrival PDF exponent %.2f over %d gaps (paper: 1.8-2.5)\n",
+		m1.Gamma, m1.Samples)
+	firstHalf := 0.0
+	for i, f := range ev.LifetimeHist {
+		if i < len(ev.LifetimeHist)/2 {
+			firstHalf += f
+		}
+	}
+	fmt.Printf("fig2b: %.0f%% of a user's edges fall in the first half of her lifetime\n", 100*firstHalf)
+	if n := len(ev.MinAge); n > 0 {
+		early, late := ev.MinAge[n/10], ev.MinAge[n-1]
+		fmt.Printf("fig2c: share of edges from <=30d-old nodes: %.0f%% (day %d) -> %.0f%% (day %d)\n",
+			100*early.Frac[2], early.Day, 100*late.Frac[2], late.Day)
+	}
+
+	// Fig 3: strength of preferential attachment over time.
+	al, err := evolution.AnalyzeAlpha(tr.Events, evolution.AlphaOptions{
+		Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := al.Samples
+	fmt.Printf("fig3c: alpha(higher) %.3f -> %.3f, alpha(random) %.3f -> %.3f, final gap %.2f\n",
+		s[0].AlphaHigher, s[len(s)-1].AlphaHigher,
+		s[0].AlphaRandom, s[len(s)-1].AlphaRandom,
+		s[len(s)-1].AlphaHigher-s[len(s)-1].AlphaRandom)
+	fmt.Printf("fig3a: final p_e(d) fit alpha=%.3f MSE=%.2e (%d degree classes)\n",
+		al.FinalAlphaHigher, al.FinalMSEHigher, len(al.PEHigher))
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// A single-network scenario big enough (≈30k nodes) for the PA-decay
+	// mechanism to span a meaningful range of network sizes.
+	cfg := gen.DefaultConfig()
+	cfg.Days = 350
+	cfg.MaxNodes = 30000
+	cfg.Arrival.Base = 12
+	cfg.Arrival.GrowthStart = 0.07
+	cfg.Arrival.GrowthEnd = 0.012
+	cfg.Arrival.GrowthTau = 80
+	cfg.Arrival.Dips = nil
+	cfg.Arrival.Bursts = nil
+	cfg.Merge = nil
+	analyze("with PA decay (paper mechanism)", cfg)
+
+	// Control: constant preferential attachment — α(t) stays flat,
+	// demonstrating that the measured decay is driven by the mechanism.
+	flat := cfg
+	flat.Attach.PALogSlope = 0
+	flat.Attach.PAStart = 0.6
+	analyze("constant PA (control)", flat)
+}

@@ -1,0 +1,268 @@
+// Package community implements the community-level analyses of §4: the
+// snapshot pipeline that runs incremental Louvain and similarity-based
+// tracking over a trace (Fig 4), community statistics over time (Fig 5),
+// merge/split structure and the SVM merge predictor (Fig 6), and the impact
+// of community membership on user activity (Fig 7).
+package community
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/louvain"
+	"repro/internal/trace"
+	"repro/internal/tracking"
+)
+
+// Options configures the community pipeline.
+type Options struct {
+	// SnapshotEvery is the cadence, in days, of community snapshots
+	// (the paper uses 3).
+	SnapshotEvery int32
+	// StartDay is the first day eligible for a snapshot (paper: day 20).
+	StartDay int32
+	// MinNodes is the minimum graph size before snapshots begin
+	// (paper: 64 nodes).
+	MinNodes int
+	// MinSize filters communities smaller than this (paper: 10).
+	MinSize int
+	// Delta is the Louvain modularity-gain threshold δ (paper: 0.04).
+	Delta float64
+	// MaxLevels caps Louvain aggregation levels. The default 1 keeps
+	// community evolution at node-move granularity between snapshots,
+	// which preserves small communities against the resolution limit;
+	// aggregation levels would fuse them wholesale.
+	MaxLevels int
+	// Seed drives Louvain's node-visiting order.
+	Seed int64
+	// SizeDistDays lists days whose community size distributions should
+	// be retained (Figs 4c, 5a).
+	SizeDistDays []int32
+}
+
+// DefaultOptions mirrors the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		SnapshotEvery: 3,
+		StartDay:      20,
+		MinNodes:      64,
+		MinSize:       10,
+		Delta:         0.04,
+		MaxLevels:     1,
+		Seed:          1,
+	}
+}
+
+// SnapshotStat is one snapshot's community-level measurements.
+type SnapshotStat struct {
+	Day            int32
+	Nodes          int
+	Edges          int64
+	Modularity     float64
+	AvgSimilarity  float64
+	NumCommunities int
+	// Top5Coverage is the fraction of all nodes inside the five largest
+	// tracked communities, and TopCoverage[r] the fraction inside the
+	// rank-r largest alone (Fig 5b plots ranks separately).
+	Top5Coverage float64
+	TopCoverage  [5]float64
+}
+
+// Result is the output of the community pipeline.
+type Result struct {
+	Opt       Options
+	Stats     []SnapshotStat
+	Events    []tracking.Event
+	Histories map[int64]*tracking.History
+	// LastDay is the final snapshot day.
+	LastDay int32
+	// SizeDists maps requested days to the sorted community sizes seen.
+	SizeDists map[int32][]int
+	// Final holds the last snapshot's tracked communities.
+	Final *tracking.SnapshotResult
+}
+
+// ErrNoSnapshots is returned when the trace never reaches snapshot size.
+var ErrNoSnapshots = errors.New("community: no snapshots taken")
+
+// Run replays the trace, detecting and tracking communities on the
+// snapshot schedule.
+func Run(events []trace.Event, opt Options) (*Result, error) {
+	if opt.SnapshotEvery <= 0 {
+		opt.SnapshotEvery = 3
+	}
+	if opt.MinSize <= 0 {
+		opt.MinSize = 10
+	}
+	if opt.Delta <= 0 {
+		opt.Delta = 0.04
+	}
+
+	res := &Result{Opt: opt, SizeDists: map[int32][]int{}}
+	wantDist := map[int32]bool{}
+	for _, d := range opt.SizeDistDays {
+		wantDist[d] = true
+	}
+	tracker := tracking.NewTracker(opt.MinSize)
+	var prevComm []int32
+	var replayErr error
+
+	_, err := trace.Replay(events, trace.Hooks{
+		OnDayEnd: func(st *trace.State, day int32) {
+			if replayErr != nil {
+				return
+			}
+			if day < opt.StartDay || (day-opt.StartDay)%opt.SnapshotEvery != 0 {
+				return
+			}
+			if st.Graph.NumNodes() < opt.MinNodes {
+				return
+			}
+			// Incremental Louvain: seed with the previous snapshot's
+			// assignment; nodes that joined since get singletons.
+			init := make([]int32, st.Graph.NumNodes())
+			for i := range init {
+				if i < len(prevComm) {
+					init[i] = prevComm[i]
+				} else {
+					init[i] = -1
+				}
+			}
+			if prevComm == nil {
+				init = nil
+			}
+			lr, err := louvain.Run(st.Graph, louvain.Options{
+				Delta:     opt.Delta,
+				MaxLevels: opt.MaxLevels,
+				Seed:      opt.Seed,
+				Init:      init,
+			})
+			if err != nil {
+				replayErr = fmt.Errorf("community: louvain at day %d: %w", day, err)
+				return
+			}
+			prevComm = lr.Community
+			snap := tracker.Advance(day, st.Graph, tracking.Assignment(lr.Community))
+			res.Final = snap
+
+			stat := SnapshotStat{
+				Day:            day,
+				Nodes:          st.Graph.NumNodes(),
+				Edges:          st.Graph.NumEdges(),
+				Modularity:     lr.Modularity,
+				AvgSimilarity:  snap.AvgSimilarity,
+				NumCommunities: len(snap.Communities),
+			}
+			// Top-5 coverage and size distribution.
+			sizes := make([]int, 0, len(snap.Communities))
+			for _, nodes := range snap.Communities {
+				sizes = append(sizes, len(nodes))
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+			top5 := 0
+			for i, s := range sizes {
+				if i >= 5 {
+					break
+				}
+				top5 += s
+				if stat.Nodes > 0 {
+					stat.TopCoverage[i] = float64(s) / float64(stat.Nodes)
+				}
+			}
+			if stat.Nodes > 0 {
+				stat.Top5Coverage = float64(top5) / float64(stat.Nodes)
+			}
+			if wantDist[day] {
+				res.SizeDists[day] = sizes
+			}
+			res.Stats = append(res.Stats, stat)
+			res.LastDay = day
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if replayErr != nil {
+		return nil, replayErr
+	}
+	if len(res.Stats) == 0 {
+		return nil, ErrNoSnapshots
+	}
+	res.Events = tracker.Events()
+	res.Histories = tracker.Histories()
+	return res, nil
+}
+
+// Lifetimes returns the lifetime in days of every tracked community,
+// using the final snapshot day for still-alive ones (Fig 5c).
+func (r *Result) Lifetimes() []float64 {
+	out := make([]float64, 0, len(r.Histories))
+	for _, h := range r.Histories {
+		out = append(out, float64(h.Lifetime(r.LastDay)))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// SizeRatios returns the size ratios (smaller/larger) of the two largest
+// communities involved in every merge and split event (Fig 6a).
+func (r *Result) SizeRatios() (mergeRatios, splitRatios []float64) {
+	for _, ev := range r.Events {
+		if ev.SizeA == 0 || ev.SizeB == 0 {
+			continue
+		}
+		a, b := float64(ev.SizeA), float64(ev.SizeB)
+		ratio := a / b
+		if a > b {
+			ratio = b / a
+		}
+		switch ev.Type {
+		case tracking.Merge:
+			mergeRatios = append(mergeRatios, ratio)
+		case tracking.Split:
+			splitRatios = append(splitRatios, ratio)
+		}
+	}
+	sort.Float64s(mergeRatios)
+	sort.Float64s(splitRatios)
+	return mergeRatios, splitRatios
+}
+
+// StrongestTie summarizes Fig 6c: for every merge event, the day and
+// whether the destination was the dying community's strongest tie.
+type StrongestTie struct {
+	Day          int32
+	StrongestTie bool
+}
+
+// StrongestTies returns the per-merge strongest-tie outcomes and the
+// overall fraction of merges that chose the strongest-tie destination.
+func (r *Result) StrongestTies() ([]StrongestTie, float64) {
+	var out []StrongestTie
+	hits := 0
+	for _, ev := range r.Events {
+		if ev.Type != tracking.Merge {
+			continue
+		}
+		out = append(out, StrongestTie{Day: ev.Day, StrongestTie: ev.StrongestTie})
+		if ev.StrongestTie {
+			hits++
+		}
+	}
+	if len(out) == 0 {
+		return nil, 0
+	}
+	return out, float64(hits) / float64(len(out))
+}
+
+// CommunityOfNode returns the final tracked community id of node u, or
+// false when u is not in any tracked community.
+func (r *Result) CommunityOfNode(u graph.NodeID) (int64, bool) {
+	if r.Final == nil {
+		return 0, false
+	}
+	id, ok := r.Final.NodeCommunity[u]
+	return id, ok
+}

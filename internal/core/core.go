@@ -1,0 +1,263 @@
+// Package core is the paper's contribution assembled as a library: the
+// multi-scale analysis pipeline. Given a dynamic-network trace it runs the
+// network-level (§2), node-level (§3), community-level (§4), and
+// network-merge (§5) analyses, and exposes every figure of the paper's
+// evaluation as a data table (see figures.go and DESIGN.md's experiment
+// index).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/community"
+	"repro/internal/evolution"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/osnmerge"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config selects and parameterizes the pipeline stages.
+type Config struct {
+	// MetricsEvery is the cadence (days) of degree/clustering/
+	// assortativity measurements; PathEvery of sampled path length
+	// (the paper computes path length every 3 days with 1000 sources;
+	// the scaled defaults are 3 and 9/100).
+	MetricsEvery int32
+	PathEvery    int32
+	// PathSources is the number of BFS sources for path length.
+	PathSources int
+	// ClusteringSamples is the node sample size for average clustering.
+	ClusteringSamples int
+
+	// Evolution and Alpha parameterize the §3 analyses.
+	Evolution evolution.Options
+	Alpha     evolution.AlphaOptions
+
+	// Community parameterizes the §4 pipeline; DeltaSweep lists the δ
+	// values for Fig 4 (empty = skip the sweep).
+	Community  community.Options
+	DeltaSweep []float64
+
+	// Merge parameterizes the §5 analysis.
+	Merge osnmerge.Options
+
+	// Stage toggles, for cheap partial runs.
+	SkipMetrics   bool
+	SkipEvolution bool
+	SkipCommunity bool
+	SkipMerge     bool
+
+	// Seed for sampled metrics.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's parameters at the scaled sizes.
+func DefaultConfig() Config {
+	cm := community.DefaultOptions()
+	return Config{
+		MetricsEvery:      3,
+		PathEvery:         9,
+		PathSources:       100,
+		ClusteringSamples: 1000,
+		Evolution:         evolution.DefaultOptions(),
+		Alpha:             evolution.AlphaOptions{Interval: 5000, MinEdges: 10000, PolyDegree: 5},
+		Community:         cm,
+		Merge:             osnmerge.DefaultOptions(),
+		Seed:              1,
+	}
+}
+
+// GrowthDay is one day of the Fig 1a/1b series.
+type GrowthDay struct {
+	Day        int32
+	NodesAdded int64
+	EdgesAdded int64
+	Nodes      int64 // cumulative
+	Edges      int64 // cumulative
+	// NodeGrowthPct/EdgeGrowthPct are the relative daily growth
+	// percentages of Fig 1b.
+	NodeGrowthPct float64
+	EdgeGrowthPct float64
+}
+
+// DeltaRun is one δ value's community pipeline outcome (Fig 4).
+type DeltaRun struct {
+	Delta float64
+	Stats []community.SnapshotStat
+	// SizeDist is the community size distribution at the sweep's
+	// distribution day.
+	SizeDist []int
+}
+
+// Result is the full multi-scale analysis output.
+type Result struct {
+	Meta trace.Meta
+
+	Growth  []GrowthDay
+	Metrics []metrics.Snapshot
+
+	Evolution *evolution.Result
+	Alpha     *evolution.AlphaResult
+
+	Community *community.Result
+	Users     *community.UserImpact
+	// MergePrediction is the Fig 6b evaluation.
+	MergeBins    []community.AgeBinAccuracy
+	MergeOverall struct {
+		PosAccuracy, NegAccuracy, Accuracy float64
+		N                                  int
+	}
+	DeltaSweep []DeltaRun
+
+	Merge *osnmerge.Result
+}
+
+// ErrEmptyTrace is returned for traces with no events.
+var ErrEmptyTrace = errors.New("core: empty trace")
+
+// Run executes the configured pipeline stages over the trace.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(tr.Events) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if cfg.MetricsEvery <= 0 {
+		cfg.MetricsEvery = 3
+	}
+	if cfg.PathEvery <= 0 {
+		cfg.PathEvery = 9
+	}
+	if cfg.PathSources <= 0 {
+		cfg.PathSources = 100
+	}
+	if cfg.ClusteringSamples <= 0 {
+		cfg.ClusteringSamples = 1000
+	}
+	res := &Result{Meta: tr.Meta}
+
+	if !cfg.SkipMetrics {
+		if err := runMetrics(tr, cfg, res); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.SkipEvolution {
+		ev, err := evolution.Analyze(tr.Events, cfg.Evolution)
+		if err != nil {
+			return nil, fmt.Errorf("core: evolution: %w", err)
+		}
+		res.Evolution = ev
+		al, err := evolution.AnalyzeAlpha(tr.Events, cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("core: alpha: %w", err)
+		}
+		res.Alpha = al
+	}
+	if !cfg.SkipCommunity {
+		cr, err := community.Run(tr.Events, cfg.Community)
+		if err != nil {
+			return nil, fmt.Errorf("core: community: %w", err)
+		}
+		res.Community = cr
+		res.Users = community.AnalyzeUsers(tr.Events, cr, nil)
+		ds := community.BuildMergeDataset(cr, tr.Meta.MergeDay)
+		if bins, overall, err := community.EvaluateMergePrediction(ds, 10, svmOptions(cfg.Seed)); err == nil {
+			res.MergeBins = bins
+			res.MergeOverall.PosAccuracy = overall.PosAccuracy
+			res.MergeOverall.NegAccuracy = overall.NegAccuracy
+			res.MergeOverall.Accuracy = overall.Accuracy
+			res.MergeOverall.N = overall.N
+		}
+		for _, d := range cfg.DeltaSweep {
+			opt := cfg.Community
+			opt.Delta = d
+			dr, err := community.Run(tr.Events, opt)
+			if err != nil {
+				return nil, fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
+			}
+			run := DeltaRun{Delta: d, Stats: dr.Stats}
+			if len(opt.SizeDistDays) > 0 {
+				run.SizeDist = dr.SizeDists[opt.SizeDistDays[len(opt.SizeDistDays)-1]]
+			}
+			res.DeltaSweep = append(res.DeltaSweep, run)
+		}
+	}
+	if !cfg.SkipMerge && tr.Meta.MergeDay >= 0 {
+		mr, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, cfg.Merge)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge: %w", err)
+		}
+		res.Merge = mr
+	}
+	return res, nil
+}
+
+// runMetrics computes the Fig 1 series in one replay pass.
+func runMetrics(tr *trace.Trace, cfg Config, res *Result) error {
+	rng := stats.NewRand(cfg.Seed)
+	var prevNodes, prevEdges int64
+	var addedNodes, addedEdges int64
+	_, err := trace.Replay(tr.Events, trace.Hooks{
+		OnEvent: func(st *trace.State, ev trace.Event) {
+			switch ev.Kind {
+			case trace.AddNode:
+				addedNodes++
+			case trace.AddEdge:
+				addedEdges++
+			}
+		},
+		OnDayEnd: func(st *trace.State, day int32) {
+			g := st.Graph
+			nodes, edges := int64(g.NumNodes()), g.NumEdges()
+			gd := GrowthDay{
+				Day:        day,
+				NodesAdded: addedNodes,
+				EdgesAdded: addedEdges,
+				Nodes:      nodes,
+				Edges:      edges,
+			}
+			if prevNodes > 0 {
+				gd.NodeGrowthPct = 100 * float64(addedNodes) / float64(prevNodes)
+			}
+			if prevEdges > 0 {
+				gd.EdgeGrowthPct = 100 * float64(addedEdges) / float64(prevEdges)
+			}
+			res.Growth = append(res.Growth, gd)
+			prevNodes, prevEdges = nodes, edges
+			addedNodes, addedEdges = 0, 0
+
+			if day%cfg.MetricsEvery == 0 && nodes > 0 {
+				snap := metrics.Snapshot{
+					Day:        day,
+					Nodes:      nodes,
+					Edges:      edges,
+					AvgDegree:  metrics.AverageDegree(g),
+					Clustering: metrics.SampledClustering(g, cfg.ClusteringSamples, rng),
+					Assort:     metrics.Assortativity(g),
+				}
+				if day%cfg.PathEvery == 0 {
+					if pl, err := metrics.SampledPathLength(g, cfg.PathSources, rng); err == nil {
+						snap.PathLength = pl
+					}
+				}
+				res.Metrics = append(res.Metrics, snap)
+			}
+		},
+	})
+	return err
+}
+
+// GenerateAndRun generates a trace from the given generator config and runs
+// the pipeline on it — the one-call entry point used by the examples.
+func GenerateAndRun(gcfg gen.Config, cfg Config) (*trace.Trace, *Result, error) {
+	tr, err := gen.Generate(gcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, res, nil
+}

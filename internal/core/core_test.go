@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+var (
+	once    sync.Once
+	result  *Result
+	onceErr error
+)
+
+// fullRun executes the full pipeline once over the small merge trace,
+// including a small δ sweep.
+func fullRun(t *testing.T) *Result {
+	t.Helper()
+	once.Do(func() {
+		tr, err := gen.Generate(gen.SmallConfig())
+		if err != nil {
+			onceErr = err
+			return
+		}
+		cfg := DefaultConfig()
+		cfg.Alpha.Interval = 2000
+		cfg.Alpha.MinEdges = 4000
+		cfg.Alpha.PolyDegree = 3
+		cfg.Community.SizeDistDays = []int32{200, 251, 296}
+		cfg.DeltaSweep = []float64{0.01, 0.1}
+		cfg.PathEvery = 30
+		cfg.PathSources = 30
+		result, onceErr = Run(tr, cfg)
+	})
+	if onceErr != nil {
+		t.Fatal(onceErr)
+	}
+	return result
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	if _, err := Run(&trace.Trace{}, DefaultConfig()); err != ErrEmptyTrace {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllFiguresExtract(t *testing.T) {
+	res := fullRun(t)
+	for _, id := range AllFigures {
+		tab, err := res.Figure(id)
+		if err != nil {
+			t.Errorf("figure %s: %v", id, err)
+			continue
+		}
+		if tab.Figure != id {
+			t.Errorf("figure %s: id mismatch %q", id, tab.Figure)
+		}
+		if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("figure %s: empty table", id)
+			continue
+		}
+		for ri, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("figure %s row %d: %d cells for %d columns", id, ri, len(row), len(tab.Columns))
+				break
+			}
+		}
+		if tab.Title == "" {
+			t.Errorf("figure %s: missing title", id)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	res := fullRun(t)
+	if _, err := res.Figure("fig99z"); !errors.Is(err, ErrUnknownFigure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSkippedStageReported(t *testing.T) {
+	tr, err := gen.Generate(gen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipCommunity = true
+	cfg.SkipMerge = true
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1a", "fig4a", "fig5b", "fig8a", "fig9c"} {
+		if _, err := res.Figure(id); !errors.Is(err, ErrStageSkipped) {
+			t.Fatalf("figure %s: err = %v, want ErrStageSkipped", id, err)
+		}
+	}
+	// Evolution figures still work.
+	if _, err := res.Figure("fig2a"); err != nil {
+		t.Fatalf("fig2a: %v", err)
+	}
+}
+
+func TestGrowthSeriesConsistency(t *testing.T) {
+	res := fullRun(t)
+	var nodes, edges int64
+	for _, g := range res.Growth {
+		nodes += g.NodesAdded
+		edges += g.EdgesAdded
+		if g.Nodes != nodes || g.Edges != edges {
+			t.Fatalf("cumulative mismatch at day %d", g.Day)
+		}
+	}
+	if nodes != res.Meta.Nodes || edges != res.Meta.Edges {
+		t.Fatalf("totals: %d/%d vs meta %d/%d", nodes, edges, res.Meta.Nodes, res.Meta.Edges)
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	res := fullRun(t)
+
+	// Fig 1c: average degree grows over the pre-merge period.
+	var early, late float64
+	for _, m := range res.Metrics {
+		if m.Day == 60 {
+			early = m.AvgDegree
+		}
+		if m.Day == 144 {
+			late = m.AvgDegree
+		}
+	}
+	if late <= early {
+		t.Errorf("avg degree did not grow pre-merge: %v -> %v", early, late)
+	}
+
+	// Fig 3c: α decays and the higher rule dominates.
+	tab, err := res.Figure("fig3c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Notes["gap_last"] <= 0 {
+		t.Errorf("alpha gap = %v", tab.Notes["gap_last"])
+	}
+
+	// Fig 8: 5Q loses more users than Xiaonei.
+	if res.Merge.InactiveAtMergeFiveQ <= res.Merge.InactiveAtMergeXiaonei {
+		t.Errorf("duplicate asymmetry missing: %v vs %v",
+			res.Merge.InactiveAtMergeFiveQ, res.Merge.InactiveAtMergeXiaonei)
+	}
+
+	// Fig 9c: distances end below 2.5 hops.
+	last := res.Merge.Distances[len(res.Merge.Distances)-1]
+	if last.XiaoneiTo5Q > 2.5 || math.IsNaN(last.XiaoneiTo5Q) {
+		t.Errorf("end distance %v", last.XiaoneiTo5Q)
+	}
+
+	// Fig 4a: larger δ gives no higher modularity at matching days.
+	if len(res.DeltaSweep) == 2 {
+		tight, loose := res.DeltaSweep[0], res.DeltaSweep[1]
+		var tightAvg, looseAvg float64
+		n := len(tight.Stats)
+		if len(loose.Stats) < n {
+			n = len(loose.Stats)
+		}
+		for i := 0; i < n; i++ {
+			tightAvg += tight.Stats[i].Modularity
+			looseAvg += loose.Stats[i].Modularity
+		}
+		if n > 0 && looseAvg > tightAvg+0.05*float64(n) {
+			t.Errorf("δ=0.1 modularity substantially above δ=0.01: %v vs %v", looseAvg, tightAvg)
+		}
+	}
+}
+
+func TestGenerateAndRun(t *testing.T) {
+	cfg := gen.SmallConfig()
+	cfg.Days = 120
+	cfg.Merge = nil
+	pcfg := DefaultConfig()
+	pcfg.SkipCommunity = true
+	pcfg.SkipMerge = true
+	pcfg.Alpha.Interval = 1000
+	pcfg.Alpha.MinEdges = 2000
+	pcfg.Alpha.PolyDegree = 2
+	tr, res, err := GenerateAndRun(cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Nodes == 0 || res.Alpha == nil {
+		t.Fatal("incomplete result")
+	}
+}

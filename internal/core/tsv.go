@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteTSV writes the table as tab-separated values: a comment header with
+// the title and notes, the column header, then one line per row. Floats are
+// printed with %g so the output is both compact and lossless enough for
+// plotting.
+func (t *Table) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %s\n", t.Figure, t.Title)
+	if len(t.Notes) > 0 {
+		keys := make([]string, 0, len(t.Notes))
+		for k := range t.Notes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, "# %s = %g\n", k, t.Notes[k])
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			bw.WriteByte('\t')
+		}
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				bw.WriteByte('\t')
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,317 @@
+// Package evolution implements the node-level analyses of §3: the time
+// dynamics of edge creation (Fig 2) and the strength of preferential
+// attachment over time (Fig 3). All analyses consume a trace event stream.
+package evolution
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/powerlaw"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// AgeBucket is one node-age class for the inter-arrival analysis. The
+// paper's buckets: month 1, month 2, month 3, months 4–5, months 6–14,
+// months 15–26 (Fig 2a).
+type AgeBucket struct {
+	Name    string
+	MinDays int32 // inclusive
+	MaxDays int32 // exclusive
+}
+
+// DefaultAgeBuckets reproduces the paper's six bucket boundaries.
+func DefaultAgeBuckets() []AgeBucket {
+	return []AgeBucket{
+		{Name: "month 1", MinDays: 0, MaxDays: 30},
+		{Name: "month 2", MinDays: 30, MaxDays: 60},
+		{Name: "month 3", MinDays: 60, MaxDays: 90},
+		{Name: "months 4-5", MinDays: 90, MaxDays: 150},
+		{Name: "months 6-14", MinDays: 150, MaxDays: 420},
+		{Name: "months 15-26", MinDays: 420, MaxDays: 780},
+	}
+}
+
+// InterArrivalBucket is the measured inter-arrival PDF for one age bucket.
+type InterArrivalBucket struct {
+	Bucket  AgeBucket
+	PDF     []stats.Bucket // log-binned density over gap days
+	Gamma   float64        // fitted PDF power-law exponent (positive)
+	Samples int64
+}
+
+// Options configures the edge-evolution analyses.
+type Options struct {
+	// Buckets for the inter-arrival analysis (default: paper's buckets).
+	Buckets []AgeBucket
+	// MinHistoryDays and MinDegree filter nodes for the normalized-
+	// lifetime analysis (paper: 30 days of history, degree ≥ 20).
+	MinHistoryDays int32
+	MinDegree      int
+	// LifetimeBins is the number of normalized-lifetime histogram bins.
+	LifetimeBins int
+	// MinAgeThresholds are the "new node" cutoffs of Fig 2c, in days.
+	MinAgeThresholds []int32
+}
+
+// DefaultOptions mirror the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		Buckets:          DefaultAgeBuckets(),
+		MinHistoryDays:   30,
+		MinDegree:        20,
+		LifetimeBins:     20,
+		MinAgeThresholds: []int32{1, 10, 30},
+	}
+}
+
+// MinAgeDay is one day of the Fig 2c composition series.
+type MinAgeDay struct {
+	Day int32
+	// Frac[i] is the fraction of the day's edges whose younger endpoint
+	// is at most MinAgeThresholds[i] days old.
+	Frac  []float64
+	Total int64
+}
+
+// Result bundles the Fig 2 analyses.
+type Result struct {
+	InterArrival []InterArrivalBucket
+	// LifetimeHist[i] is the fraction of a user's edges created in the
+	// i-th slice of her normalized lifetime (Fig 2b).
+	LifetimeHist []float64
+	// MinAge is the Fig 2c series.
+	MinAge []MinAgeDay
+	// NodesAnalyzed counts nodes passing the Fig 2b filters.
+	NodesAnalyzed int
+}
+
+// ErrNoEdges is returned when a trace has no edge events.
+var ErrNoEdges = errors.New("evolution: trace has no edges")
+
+// Analyze runs the Fig 2 analyses over a trace.
+func Analyze(events []trace.Event, opt Options) (*Result, error) {
+	if len(opt.Buckets) == 0 {
+		opt.Buckets = DefaultAgeBuckets()
+	}
+	if opt.LifetimeBins <= 0 {
+		opt.LifetimeBins = 20
+	}
+	if len(opt.MinAgeThresholds) == 0 {
+		opt.MinAgeThresholds = []int32{1, 10, 30}
+	}
+
+	// Per-node join day and edge-day lists.
+	var joinDay []int32
+	edgeDays := map[graph.NodeID][]int32{}
+	hasEdges := false
+
+	// Inter-arrival histograms per bucket.
+	hists := make([]*stats.LogHistogram, len(opt.Buckets))
+	for i := range hists {
+		hists[i], _ = stats.NewLogHistogram(1.35)
+	}
+	lastEdge := map[graph.NodeID]int32{}
+
+	// Fig 2c accumulation.
+	sort.Slice(opt.MinAgeThresholds, func(i, j int) bool { return opt.MinAgeThresholds[i] < opt.MinAgeThresholds[j] })
+	var minAge []MinAgeDay
+	var curDay int32 = -1
+	var dayTotal int64
+	dayHits := make([]int64, len(opt.MinAgeThresholds))
+	flushDay := func() {
+		if curDay < 0 || dayTotal == 0 {
+			return
+		}
+		fr := make([]float64, len(dayHits))
+		for i, h := range dayHits {
+			fr[i] = float64(h) / float64(dayTotal)
+		}
+		minAge = append(minAge, MinAgeDay{Day: curDay, Frac: fr, Total: dayTotal})
+	}
+
+	bucketOf := func(age int32) int {
+		for i, b := range opt.Buckets {
+			if age >= b.MinDays && age < b.MaxDays {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.AddNode:
+			for int32(len(joinDay)) <= ev.U {
+				joinDay = append(joinDay, ev.Day)
+			}
+			joinDay[ev.U] = ev.Day
+		case trace.AddEdge:
+			hasEdges = true
+			if ev.Day != curDay {
+				flushDay()
+				curDay = ev.Day
+				dayTotal = 0
+				for i := range dayHits {
+					dayHits[i] = 0
+				}
+			}
+			ageU := ev.Day - joinDay[ev.U]
+			ageV := ev.Day - joinDay[ev.V]
+			minA := ageU
+			if ageV < minA {
+				minA = ageV
+			}
+			dayTotal++
+			for i, th := range opt.MinAgeThresholds {
+				if minA <= th {
+					dayHits[i]++
+				}
+			}
+			// Inter-arrival per endpoint.
+			for _, u := range [2]graph.NodeID{ev.U, ev.V} {
+				age := ev.Day - joinDay[u]
+				if last, ok := lastEdge[u]; ok {
+					gap := ev.Day - last
+					if gap > 0 {
+						if bi := bucketOf(age); bi >= 0 {
+							hists[bi].Add(float64(gap))
+						}
+					}
+				}
+				lastEdge[u] = ev.Day
+				edgeDays[u] = append(edgeDays[u], ev.Day)
+			}
+		}
+	}
+	flushDay()
+	if !hasEdges {
+		return nil, ErrNoEdges
+	}
+
+	res := &Result{MinAge: minAge}
+	for i, h := range hists {
+		b := InterArrivalBucket{Bucket: opt.Buckets[i], PDF: h.Buckets(), Samples: h.Total()}
+		if gamma, err := powerlaw.FitBucketPDF(b.PDF); err == nil {
+			b.Gamma = gamma
+		}
+		res.InterArrival = append(res.InterArrival, b)
+	}
+
+	// Fig 2b: normalized lifetime activity.
+	hist := make([]float64, opt.LifetimeBins)
+	var users int
+	lastDay := curDay
+	for u, days := range edgeDays {
+		join := joinDay[u]
+		if len(days) < opt.MinDegree {
+			continue
+		}
+		if lastDay-join < opt.MinHistoryDays {
+			continue
+		}
+		last := days[len(days)-1]
+		life := float64(last - join)
+		if life <= 0 {
+			continue
+		}
+		users++
+		for _, d := range days {
+			pos := float64(d-join) / life
+			bin := int(pos * float64(opt.LifetimeBins))
+			if bin >= opt.LifetimeBins {
+				bin = opt.LifetimeBins - 1
+			}
+			hist[bin]++
+		}
+	}
+	var total float64
+	for _, h := range hist {
+		total += h
+	}
+	if total > 0 {
+		for i := range hist {
+			hist[i] /= total
+		}
+	}
+	res.LifetimeHist = hist
+	res.NodesAnalyzed = users
+	return res, nil
+}
+
+// AlphaOptions configures the Fig 3 analysis.
+type AlphaOptions struct {
+	// Interval is the number of edges between α checkpoints (paper: 5000).
+	Interval int64
+	// MinEdges is when checkpointing starts (paper: 600K, scaled).
+	MinEdges int64
+	// Seed drives the random-destination estimator.
+	Seed int64
+	// PolyDegree is the α(t) polynomial-fit degree (paper: 5).
+	PolyDegree int
+}
+
+// AlphaResult is the Fig 3 output.
+type AlphaResult struct {
+	Samples []powerlaw.AlphaSample
+	// PEHigher and PERandom are the final p_e(d) curves (Figs 3a–3b).
+	PEHigher, PERandom []powerlaw.Point
+	// Final fitted exponents and MSEs at the end of the trace.
+	FinalAlphaHigher, FinalMSEHigher float64
+	FinalAlphaRandom, FinalMSERandom float64
+	// PolyHigher/PolyRandom: α(t) polynomial coefficients in the variable
+	// edges/PolyScale (Fig 3c); nil when the fit is impossible.
+	PolyHigher, PolyRandom []float64
+	PolyScale              float64
+}
+
+// AnalyzeAlpha measures α(t) over the trace (Fig 3).
+func AnalyzeAlpha(events []trace.Event, opt AlphaOptions) (*AlphaResult, error) {
+	if opt.Interval <= 0 {
+		opt.Interval = 5000
+	}
+	if opt.PolyDegree <= 0 {
+		opt.PolyDegree = 5
+	}
+	tr := powerlaw.NewAlphaTracker(opt.Interval, opt.MinEdges, stats.NewRand(opt.Seed))
+	day := int32(0)
+	sawEdge := false
+	for _, ev := range events {
+		day = ev.Day
+		switch ev.Kind {
+		case trace.AddNode:
+			tr.ObserveNode(ev.U)
+		case trace.AddEdge:
+			tr.ObserveEdge(ev.U, ev.V, ev.Day)
+			sawEdge = true
+		}
+	}
+	if !sawEdge {
+		return nil, ErrNoEdges
+	}
+	res := &AlphaResult{Samples: tr.Finish(day)}
+	hi := tr.Estimator(powerlaw.DestHigherDegree)
+	lo := tr.Estimator(powerlaw.DestRandom)
+	res.PEHigher = hi.Snapshot()
+	res.PERandom = lo.Snapshot()
+	if a, _, m, err := hi.Fit(); err == nil {
+		res.FinalAlphaHigher, res.FinalMSEHigher = a, m
+	}
+	if a, _, m, err := lo.Fit(); err == nil {
+		res.FinalAlphaRandom, res.FinalMSERandom = a, m
+	}
+	// Polynomial fit of α(t) as in Fig 3c, scaled for conditioning.
+	if n := len(res.Samples); n > opt.PolyDegree {
+		res.PolyScale = math.Max(1, float64(res.Samples[n-1].Edges))
+		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestHigherDegree, opt.PolyDegree, res.PolyScale); err == nil {
+			res.PolyHigher = c
+		}
+		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestRandom, opt.PolyDegree, res.PolyScale); err == nil {
+			res.PolyRandom = c
+		}
+	}
+	return res, nil
+}

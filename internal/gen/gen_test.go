@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tinyConfig is a fast single-network config for unit tests.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Days = 120
+	c.MaxNodes = 5000
+	c.Arrival.Base = 20
+	c.Arrival.GrowthStart = 0.08
+	c.Arrival.GrowthEnd = 0.02
+	c.Arrival.GrowthTau = 40
+	c.Arrival.Dips = nil
+	c.Arrival.Bursts = nil
+	c.Merge = nil
+	return c
+}
+
+// tinyMergeConfig is a fast two-network config.
+func tinyMergeConfig() Config {
+	c := tinyConfig()
+	c.Days = 160
+	c.Merge = &MergeConfig{
+		Day:                   80,
+		FiveQStart:            30,
+		FiveQArrivalBase:      12,
+		FiveQGrowth:           0.06,
+		FiveQActivityFactor:   0.45,
+		FiveQInitialEdgesMean: 1.6,
+		XiaoneiInactiveFrac:   0.11,
+		FiveQInactiveFrac:     0.28,
+		CrossBoost:            0.45,
+		CrossTau:              10,
+		CrossFloor:            0.03,
+	}
+	return c
+}
+
+func TestGenerateValidTrace(t *testing.T) {
+	tr, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr.Events); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if tr.Meta.Nodes < 100 {
+		t.Fatalf("too few nodes: %d", tr.Meta.Nodes)
+	}
+	if tr.Meta.Edges < tr.Meta.Nodes {
+		t.Fatalf("too few edges: %d nodes / %d edges", tr.Meta.Nodes, tr.Meta.Edges)
+	}
+	if tr.Meta.MergeDay != -1 {
+		t.Fatalf("merge day = %d for single network", tr.Meta.MergeDay)
+	}
+	if tr.Meta.FiveQ != 0 || tr.Meta.NewUsers != 0 {
+		t.Fatalf("single network has foreign origins: %+v", tr.Meta)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	c1 := tinyConfig()
+	c2 := tinyConfig()
+	c2.Seed = 2
+	a, _ := Generate(c1)
+	b, _ := Generate(c2)
+	if len(a.Events) == len(b.Events) {
+		same := true
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestGenerateMergeTrace(t *testing.T) {
+	tr, err := Generate(tinyMergeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr.Events); err != nil {
+		t.Fatalf("merge trace invalid: %v", err)
+	}
+	if tr.Meta.MergeDay != 80 {
+		t.Fatalf("merge day = %d", tr.Meta.MergeDay)
+	}
+	if tr.Meta.FiveQ == 0 {
+		t.Fatal("no 5Q nodes imported")
+	}
+	if tr.Meta.NewUsers == 0 {
+		t.Fatal("no post-merge users")
+	}
+	// All 5Q node events must be stamped with the merge day.
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.AddNode && ev.Origin == trace.OriginFiveQ && ev.Day != 80 {
+			t.Fatalf("5Q node created on day %d", ev.Day)
+		}
+	}
+	// There must be a spike: more edges on the merge day than the day before.
+	perDay := map[int32]int{}
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.AddEdge {
+			perDay[ev.Day]++
+		}
+	}
+	if perDay[80] <= perDay[79]*2 {
+		t.Fatalf("no merge-day edge spike: day79=%d day80=%d", perDay[79], perDay[80])
+	}
+}
+
+func TestGenerateRespectsMaxNodes(t *testing.T) {
+	c := tinyConfig()
+	c.MaxNodes = 200
+	tr, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Nodes > 200 {
+		t.Fatalf("node cap violated: %d", tr.Meta.Nodes)
+	}
+}
+
+func TestGenerateRespectsDegreeCap(t *testing.T) {
+	c := tinyConfig()
+	c.Attach.MaxDegree = 10
+	tr, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[int32]int{}
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.AddEdge {
+			deg[ev.U]++
+			deg[ev.V]++
+		}
+	}
+	for u, d := range deg {
+		// The cap is checked before creating an edge, so a node can reach
+		// the cap but never exceed it by more than the receiving slot.
+		if d > 10+1 {
+			t.Fatalf("node %d degree %d exceeds cap", u, d)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.MaxNodes = 0 },
+		func(c *Config) { c.Arrival.Base = -1 },
+		func(c *Config) { c.Activity.GapXm = 0 },
+		func(c *Config) { c.Attach.MaxDegree = 0 },
+		func(c *Config) { c.Community.Theta = 0 },
+	}
+	for i, mutate := range cases {
+		c := tinyConfig()
+		mutate(&c)
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	mergeCases := []func(*MergeConfig){
+		func(m *MergeConfig) { m.Day = 0 },
+		func(m *MergeConfig) { m.Day = 9999 },
+		func(m *MergeConfig) { m.FiveQStart = 200 },
+		func(m *MergeConfig) { m.XiaoneiInactiveFrac = 1.5 },
+		func(m *MergeConfig) { m.FiveQActivityFactor = 0 },
+	}
+	for i, mutate := range mergeCases {
+		c := tinyMergeConfig()
+		mutate(c.Merge)
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("merge case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 10, Length: 5, Factor: 0.5}
+	for _, tc := range []struct {
+		day  int32
+		want bool
+	}{{9, false}, {10, true}, {14, true}, {15, false}} {
+		if w.Contains(tc.day) != tc.want {
+			t.Fatalf("Contains(%d) != %v", tc.day, tc.want)
+		}
+	}
+}
+
+func TestArrivalDipsReduceGrowth(t *testing.T) {
+	c := tinyConfig()
+	base, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Arrival.Dips = []Window{{Start: 0, Length: 120, Factor: 0.2}}
+	dipped, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dipped.Meta.Nodes >= base.Meta.Nodes {
+		t.Fatalf("dip did not reduce arrivals: %d vs %d", dipped.Meta.Nodes, base.Meta.Nodes)
+	}
+}
+
+// TestCalibrationSmoke prints the headline shape of the small config so
+// regressions in generator tuning are visible in test logs.
+func TestCalibrationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke is moderate cost")
+	}
+	tr, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Meta
+	t.Logf("small config: %d nodes (%d xiaonei / %d 5q / %d new), %d edges, avg degree %.1f",
+		m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, 2*float64(m.Edges)/float64(m.Nodes))
+	if m.Nodes < 1000 {
+		t.Fatalf("small config too small: %d nodes", m.Nodes)
+	}
+	avgDeg := 2 * float64(m.Edges) / float64(m.Nodes)
+	if avgDeg < 4 || avgDeg > 80 {
+		t.Fatalf("average degree out of plausible band: %.1f", avgDeg)
+	}
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// importNetwork merges a fully grown 5Q simulation into this one on the
+// merge day, mirroring §5.1: both networks were "locked", all 5Q accounts
+// and friendships were imported in one shot (the day-386 spike of Fig 1a),
+// duplicate-account holders picked one profile to keep (the discarded ones
+// never act again), and from the next day on users could friend across the
+// old network boundary.
+func (s *sim) importNetwork(fq *sim) {
+	m := s.cfg.Merge
+	day := m.Day
+	t := float64(day)
+
+	// Duplicate accounts on the Xiaonei side go silent immediately.
+	for u := range s.nodes {
+		if s.nodes[u].origin == trace.OriginXiaonei && s.rng.Float64() < m.XiaoneiInactiveFrac {
+			s.nodes[u].inactive = true
+		}
+	}
+
+	// Map 5Q node ids into the combined id space, emitting AddNode events.
+	idMap := make([]graph.NodeID, len(fq.nodes))
+	commMap := make([]int32, len(fq.commMembers))
+	for c := range commMap {
+		commMap[c] = -1
+	}
+	for old := range fq.nodes {
+		nu := s.g.AddNode()
+		idMap[old] = nu
+		fst := fq.nodes[old]
+		comm := commMap[fst.comm]
+		if comm < 0 {
+			s.commMembers = append(s.commMembers, nil)
+			s.commPA = append(s.commPA, nil)
+			s.commPA = append(s.commPA, nil)
+			comm = int32(len(s.commMembers) - 1)
+			commMap[fst.comm] = comm
+		}
+		st := nodeState{
+			// Preserve account age: the 5Q clock's zero is FiveQStart.
+			join:      fst.join + float64(m.FiveQStart),
+			lifetime:  fst.lifetime,
+			comm:      comm,
+			origin:    trace.OriginFiveQ,
+			actFactor: m.FiveQActivityFactor,
+			inactive:  s.rng.Float64() < m.FiveQInactiveFrac,
+			retired:   fst.retired,
+		}
+		s.nodes = append(s.nodes, st)
+		s.commMembers[comm] = append(s.commMembers[comm], nu)
+		s.byOrigin[trace.OriginFiveQ] = append(s.byOrigin[trace.OriginFiveQ], nu)
+		s.out = append(s.out, trace.Event{Kind: trace.AddNode, Day: day, U: nu, Origin: trace.OriginFiveQ})
+	}
+
+	// Import 5Q's friendship edges, all stamped with the merge day.
+	fq.g.ForEachEdge(func(a, b graph.NodeID) {
+		s.commitEdge(idMap[a], idMap[b], day)
+	})
+
+	// Surviving 5Q users resume their activity processes on the combined
+	// network; their gaps reflect their (preserved) age and 5Q's lower
+	// activity level.
+	for old := range fq.nodes {
+		nu := idMap[old]
+		st := &s.nodes[nu]
+		if st.inactive || st.retired {
+			continue
+		}
+		heap.Push(&s.queue, simEvent{t: t + s.nextGap(nu, t), u: nu})
+	}
+
+	// Merge excitement: active pre-merge users on both sides get a prompt
+	// extra edge opportunity, producing the short-lived burst of §5.3.
+	for u := range s.nodes {
+		st := &s.nodes[u]
+		if st.inactive || st.retired || st.origin == trace.OriginNew {
+			continue
+		}
+		if s.rng.Float64() < 0.5 {
+			heap.Push(&s.queue, simEvent{t: t + 3*s.rng.Float64(), u: graph.NodeID(u)})
+		}
+	}
+
+	s.mergeDone = true
+}

@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// TestOriginsPartitionAroundMerge: Xiaonei nodes are created strictly
+// before the merge day, 5Q nodes exactly on it, new users strictly after.
+func TestOriginsPartitionAroundMerge(t *testing.T) {
+	tr, err := Generate(tinyMergeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeDay := tr.Meta.MergeDay
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.AddNode {
+			continue
+		}
+		switch ev.Origin {
+		case trace.OriginXiaonei:
+			if ev.Day >= mergeDay {
+				t.Fatalf("xiaonei node on day %d (merge %d)", ev.Day, mergeDay)
+			}
+		case trace.OriginFiveQ:
+			if ev.Day != mergeDay {
+				t.Fatalf("5q node on day %d (merge %d)", ev.Day, mergeDay)
+			}
+		case trace.OriginNew:
+			if ev.Day < mergeDay {
+				t.Fatalf("new node on day %d before merge %d", ev.Day, mergeDay)
+			}
+		}
+	}
+}
+
+// TestRandomConfigsProduceValidTraces fuzzes generator knobs and validates
+// every produced trace.
+func TestRandomConfigsProduceValidTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		if rng < 0 {
+			rng = -rng
+		}
+		c := tinyConfig()
+		c.Seed = seed
+		c.Days = 60 + int32(rng%120)
+		c.Activity.InitialEdgesMean = 1 + float64(rng%5)
+		c.Attach.TriangleProb = float64(rng%90) / 100
+		c.Attach.CommunityBias = float64(rng%100) / 100
+		c.Community.Theta = 1 + float64(rng%40)
+		c.Community.WaveProb = float64(rng%100) / 100
+		tr, err := Generate(c)
+		if err != nil {
+			return false
+		}
+		return trace.Validate(tr.Events) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeSpikeScalesWithFiveQ: a bigger 5Q network produces a bigger
+// merge-day spike.
+func TestMergeSpikeScalesWithFiveQ(t *testing.T) {
+	spike := func(base float64) int {
+		c := tinyMergeConfig()
+		c.Merge.FiveQArrivalBase = base
+		tr, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, ev := range tr.Events {
+			if ev.Kind == trace.AddNode && ev.Origin == trace.OriginFiveQ {
+				n++
+			}
+		}
+		return n
+	}
+	small, big := spike(4), spike(24)
+	if big <= small {
+		t.Fatalf("5q sizing broken: base 4 -> %d nodes, base 24 -> %d nodes", small, big)
+	}
+}
+
+// TestDegreeDistributionHeavyTail: the max degree should far exceed the
+// average (hubs exist), but respect the cap.
+func TestDegreeDistributionHeavyTail(t *testing.T) {
+	c := tinyConfig()
+	tr, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[int32]int{}
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.AddEdge {
+			deg[ev.U]++
+			deg[ev.V]++
+		}
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("no hubs: max %d vs avg %.1f", maxDeg, avg)
+	}
+	if maxDeg > c.Attach.MaxDegree+1 {
+		t.Fatalf("degree cap violated: %d", maxDeg)
+	}
+}
+
+// TestPAWeightMonotone: the mixing weight never increases with network size.
+func TestPAWeightMonotone(t *testing.T) {
+	s := newSim(DefaultConfig(), nil)
+	prev := 2.0
+	for n := 1; n < 1_000_000; n *= 4 {
+		s.nodes = make([]nodeState, n)
+		w := s.paWeight()
+		if w > prev+1e-12 {
+			t.Fatalf("paWeight increased at n=%d: %v -> %v", n, prev, w)
+		}
+		if w < s.cfg.Attach.PAFloor-1e-12 || w > 1 {
+			t.Fatalf("paWeight out of range at n=%d: %v", n, w)
+		}
+		prev = w
+	}
+}

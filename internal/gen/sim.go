@@ -1,0 +1,474 @@
+package gen
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// nodeState is the per-node simulation state.
+type nodeState struct {
+	join      float64 // join time in fractional days (global clock)
+	lifetime  float64 // active span in days; initiates no edges beyond it
+	comm      int32   // home community
+	origin    trace.Origin
+	actFactor float64 // activity multiplier (<1 slows a node down)
+	inactive  bool    // duplicate account: neither initiates nor receives
+	retired   bool    // stopped initiating (still receives)
+}
+
+// simEvent is a scheduled edge-creation attempt for a node.
+type simEvent struct {
+	t float64
+	u graph.NodeID
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// sim is one running network simulation.
+type sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	g     *graph.Graph
+	nodes []nodeState
+	queue eventHeap
+	out   []trace.Event
+
+	pa          *graph.PASampler
+	commMembers [][]graph.NodeID // home-community member lists
+	commPA      [][]graph.NodeID // per-community degree-proportional endpoint lists
+
+	byOrigin [3][]graph.NodeID
+
+	pop       float64 // expected population of the arrival process
+	mergeDay  float64 // -1 when no merge
+	mergeDone bool
+}
+
+func newSim(cfg Config, rng *rand.Rand) *sim {
+	s := &sim{
+		cfg:      cfg,
+		rng:      rng,
+		g:        graph.New(4096),
+		pa:       graph.NewPASampler(4096),
+		pop:      cfg.Arrival.Base,
+		mergeDay: -1,
+	}
+	if cfg.Merge != nil {
+		s.mergeDay = float64(cfg.Merge.Day)
+	}
+	return s
+}
+
+// Generate produces a full trace for cfg.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	s := newSim(cfg, rng)
+
+	var fiveQ *sim
+	if cfg.Merge != nil {
+		// Grow the 5Q network standalone over [0, Day-FiveQStart) days of
+		// its own clock, with its own RNG stream.
+		fq := fiveQConfig(cfg)
+		fiveQ = newSim(fq, stats.NewRand(cfg.Seed+7919))
+		if err := fiveQ.run(nil); err != nil {
+			return nil, fmt.Errorf("gen: 5q sub-simulation: %w", err)
+		}
+	}
+	if err := s.run(fiveQ); err != nil {
+		return nil, err
+	}
+
+	tr := &trace.Trace{Events: s.out}
+	tr.Meta = trace.Summarize(s.out)
+	tr.Meta.Seed = cfg.Seed
+	tr.Meta.MergeDay = -1
+	if cfg.Merge != nil {
+		tr.Meta.MergeDay = cfg.Merge.Day
+	}
+	return tr, nil
+}
+
+// validateConfig rejects configurations that cannot run.
+func validateConfig(cfg Config) error {
+	switch {
+	case cfg.Days <= 0:
+		return errors.New("gen: Days must be positive")
+	case cfg.MaxNodes <= 0:
+		return errors.New("gen: MaxNodes must be positive")
+	case cfg.Arrival.Base < 0 || cfg.Arrival.GrowthStart < 0 || cfg.Arrival.GrowthEnd < 0:
+		return errors.New("gen: arrival parameters must be non-negative")
+	case cfg.Activity.GapXm <= 0 || cfg.Activity.GapAlpha <= 0:
+		return errors.New("gen: gap distribution parameters must be positive")
+	case cfg.Attach.MaxDegree < 1:
+		return errors.New("gen: MaxDegree must be at least 1")
+	case cfg.Community.Theta <= 0:
+		return errors.New("gen: community Theta must be positive")
+	case cfg.Community.WaveProb < 0 || cfg.Community.WaveProb > 1:
+		return errors.New("gen: WaveProb must be in [0,1]")
+	case cfg.Community.WaveWindow < 0:
+		return errors.New("gen: WaveWindow must be non-negative")
+	}
+	if m := cfg.Merge; m != nil {
+		switch {
+		case m.Day <= 0 || m.Day >= cfg.Days:
+			return errors.New("gen: merge day out of range")
+		case m.FiveQStart < 0 || m.FiveQStart >= m.Day:
+			return errors.New("gen: 5Q start must precede the merge day")
+		case m.XiaoneiInactiveFrac < 0 || m.XiaoneiInactiveFrac > 1 ||
+			m.FiveQInactiveFrac < 0 || m.FiveQInactiveFrac > 1:
+			return errors.New("gen: inactive fractions must be in [0,1]")
+		case m.FiveQActivityFactor <= 0:
+			return errors.New("gen: FiveQActivityFactor must be positive")
+		}
+	}
+	return nil
+}
+
+// fiveQConfig derives the standalone 5Q simulation config.
+func fiveQConfig(cfg Config) Config {
+	m := cfg.Merge
+	fq := cfg
+	fq.Merge = nil
+	fq.Days = m.Day - m.FiveQStart
+	fq.Arrival = ArrivalConfig{
+		InitialNodes: 2,
+		Base:         m.FiveQArrivalBase,
+		GrowthStart:  m.FiveQGrowth,
+	}
+	fq.Activity.InitialEdgesMean = m.FiveQInitialEdgesMean
+	fq.MaxNodes = cfg.MaxNodes
+	return fq
+}
+
+// run executes the simulation day loop. fiveQ, when non-nil, is the grown
+// 5Q network to import on the merge day.
+func (s *sim) run(fiveQ *sim) error {
+	for day := int32(0); day < s.cfg.Days; day++ {
+		if fiveQ != nil && !s.mergeDone && day == s.cfg.Merge.Day {
+			s.importNetwork(fiveQ)
+		}
+		s.spawnArrivals(day)
+		s.drainUntil(float64(day + 1))
+	}
+	return nil
+}
+
+// arrivalRate returns the expected number of arrivals on the given day and
+// advances the population process.
+func (s *sim) arrivalRate(day int32) float64 {
+	g := s.cfg.Arrival.GrowthAt(day)
+	r := s.pop * g
+	s.pop *= 1 + g
+	for _, w := range s.cfg.Arrival.Dips {
+		if w.Contains(day) {
+			r *= w.Factor
+		}
+	}
+	for _, w := range s.cfg.Arrival.Bursts {
+		if w.Contains(day) {
+			r *= w.Factor
+		}
+	}
+	return r
+}
+
+// dipFactor returns the activity modulation for a day (dips slow edge
+// creation as well as arrivals; bursts only affect arrivals).
+func (s *sim) dipFactor(day int32) float64 {
+	f := 1.0
+	for _, w := range s.cfg.Arrival.Dips {
+		if w.Contains(day) {
+			f *= w.Factor
+		}
+	}
+	return f
+}
+
+// poisson draws a Poisson(lambda) variate (normal approximation for large λ).
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// spawnArrivals creates the day's new nodes and queues their processes.
+func (s *sim) spawnArrivals(day int32) {
+	n := poisson(s.arrivalRate(day), s.rng)
+	if day == 0 {
+		n += s.cfg.Arrival.InitialNodes
+	}
+	for i := 0; i < n; i++ {
+		if len(s.nodes) >= s.cfg.MaxNodes {
+			return
+		}
+		t := float64(day) + s.rng.Float64()
+		origin := trace.OriginXiaonei
+		if s.mergeDone {
+			origin = trace.OriginNew
+		}
+		s.addNode(t, origin, 1.0)
+	}
+}
+
+// addNode creates one node at time t and schedules its activity. Returns
+// the new id.
+func (s *sim) addNode(t float64, origin trace.Origin, actFactor float64) graph.NodeID {
+	u := s.g.AddNode()
+	comm := s.pickCommunity()
+	s.nodes = append(s.nodes, nodeState{
+		join:      t,
+		lifetime:  stats.Pareto(s.cfg.Activity.LifetimeXm, s.cfg.Activity.LifetimeAlpha, s.rng),
+		comm:      comm,
+		origin:    origin,
+		actFactor: actFactor,
+	})
+	s.commMembers[comm] = append(s.commMembers[comm], u)
+	s.byOrigin[origin] = append(s.byOrigin[origin], u)
+	s.out = append(s.out, trace.Event{Kind: trace.AddNode, Day: int32(t), U: u, Origin: origin})
+
+	// Initial friendship burst: the "finding offline friends" phase.
+	burst := poisson(s.cfg.Activity.InitialEdgesMean, s.rng)
+	for k := 0; k < burst; k++ {
+		s.tryEdge(u, t)
+	}
+	heap.Push(&s.queue, simEvent{t: t + s.nextGap(u, t), u: u})
+	return u
+}
+
+// pickCommunity draws a home community from the (wave-localized) CRP
+// prior: a fresh community with probability Theta/(pool+Theta), otherwise
+// the community of a random node from the adoption pool — the recent
+// arrivals with probability WaveProb, anyone otherwise.
+func (s *sim) pickCommunity() int32 {
+	c := s.cfg.Community
+	pool := len(s.nodes)
+	wave := c.WaveWindow > 0 && s.rng.Float64() < c.WaveProb
+	if wave && pool > c.WaveWindow {
+		pool = c.WaveWindow
+	}
+	if len(s.nodes) == 0 || s.rng.Float64()*(float64(pool)+c.Theta) < c.Theta {
+		s.commMembers = append(s.commMembers, nil)
+		s.commPA = append(s.commPA, nil)
+		return int32(len(s.commMembers) - 1)
+	}
+	var v graph.NodeID
+	if wave {
+		// A random node among the last `pool` arrivals (ids are dense in
+		// arrival order).
+		v = graph.NodeID(len(s.nodes) - 1 - s.rng.Intn(pool))
+	} else {
+		v = graph.NodeID(s.rng.Intn(len(s.nodes)))
+	}
+	return s.nodes[v].comm
+}
+
+// drainUntil processes queued edge events strictly before time limit.
+func (s *sim) drainUntil(limit float64) {
+	for len(s.queue) > 0 && s.queue[0].t < limit {
+		ev := heap.Pop(&s.queue).(simEvent)
+		s.fireEdgeEvent(ev)
+	}
+}
+
+// fireEdgeEvent handles one scheduled edge creation for ev.u.
+func (s *sim) fireEdgeEvent(ev simEvent) {
+	u := ev.u
+	st := &s.nodes[u]
+	if st.inactive || st.retired {
+		return
+	}
+	if ev.t-st.join > st.lifetime {
+		st.retired = true
+		return
+	}
+	if s.g.Degree(u) >= s.cfg.Attach.MaxDegree {
+		st.retired = true
+		return
+	}
+	// Holiday dips slow edge creation: postpone with probability 1-factor.
+	day := int32(ev.t)
+	if f := s.dipFactor(day); f < 1 && s.rng.Float64() > f {
+		heap.Push(&s.queue, simEvent{t: ev.t + s.nextGap(u, ev.t), u: u})
+		return
+	}
+	s.tryEdge(u, ev.t)
+	heap.Push(&s.queue, simEvent{t: ev.t + s.nextGap(u, ev.t), u: u})
+}
+
+// nextGap draws the node's next inter-edge gap in days: Pareto base times
+// the aging slowdown, divided by the node's activity factor.
+func (s *sim) nextGap(u graph.NodeID, t float64) float64 {
+	a := s.cfg.Activity
+	age := t - s.nodes[u].join
+	if age < 0 {
+		age = 0
+	}
+	gap := stats.Pareto(a.GapXm, a.GapAlpha, s.rng)
+	gap *= 1 + age/a.AgingScale
+	gap /= s.nodes[u].actFactor
+	return gap
+}
+
+// paWeight returns the preferential-attachment mixing weight at the current
+// network size (the decaying-PA mechanism, Fig 3c).
+func (s *sim) paWeight() float64 {
+	ref := s.cfg.Attach.PARefNodes
+	if ref <= 0 {
+		ref = 1
+	}
+	x := float64(len(s.nodes)) / ref
+	if x < 1 {
+		x = 1
+	}
+	w := s.cfg.Attach.PAStart - s.cfg.Attach.PALogSlope*math.Log10(x)
+	if w < s.cfg.Attach.PAFloor {
+		w = s.cfg.Attach.PAFloor
+	}
+	if w > 1 {
+		w = 1
+	}
+	return w
+}
+
+// crossProb returns the probability that a pre-merge user targets the
+// opposite network at time t (0 before the merge or for post-merge users).
+func (s *sim) crossProb(origin trace.Origin, t float64) float64 {
+	if !s.mergeDone || origin == trace.OriginNew {
+		return 0
+	}
+	m := s.cfg.Merge
+	return m.CrossFloor + m.CrossBoost*math.Exp(-(t-s.mergeDay)/m.CrossTau)
+}
+
+// tryEdge attempts to create one edge from u at time t; it gives up
+// silently after a bounded number of destination rejections.
+func (s *sim) tryEdge(u graph.NodeID, t float64) bool {
+	if s.g.Degree(u) >= s.cfg.Attach.MaxDegree {
+		return false
+	}
+	const attempts = 12
+	for i := 0; i < attempts; i++ {
+		v, ok := s.pickDestination(u, t)
+		if !ok || v == u {
+			continue
+		}
+		sv := &s.nodes[v]
+		if sv.inactive || s.g.Degree(v) >= s.cfg.Attach.MaxDegree || s.g.HasEdge(u, v) {
+			continue
+		}
+		s.commitEdge(u, v, int32(t))
+		return true
+	}
+	return false
+}
+
+// commitEdge records the edge in the graph, the samplers, and the trace.
+func (s *sim) commitEdge(u, v graph.NodeID, day int32) {
+	if err := s.g.AddEdge(u, v); err != nil {
+		return
+	}
+	s.pa.Observe(u, v)
+	cu, cv := s.nodes[u].comm, s.nodes[v].comm
+	s.commPA[cu] = append(s.commPA[cu], u)
+	s.commPA[cv] = append(s.commPA[cv], v)
+	s.out = append(s.out, trace.Event{Kind: trace.AddEdge, Day: day, U: u, V: v})
+}
+
+// pickDestination draws a candidate destination for an edge from u.
+func (s *sim) pickDestination(u graph.NodeID, t float64) (graph.NodeID, bool) {
+	st := &s.nodes[u]
+	r := s.rng.Float64()
+
+	// Cross-network curiosity right after the merge.
+	if p := s.crossProb(st.origin, t); p > 0 && r < p {
+		other := trace.OriginFiveQ
+		if st.origin == trace.OriginFiveQ {
+			other = trace.OriginXiaonei
+		}
+		pool := s.byOrigin[other]
+		if len(pool) == 0 {
+			return 0, false
+		}
+		return pool[s.rng.Intn(len(pool))], true
+	}
+
+	// Triangle closure: friend of a friend.
+	if s.rng.Float64() < s.cfg.Attach.TriangleProb {
+		ns := s.g.Neighbors(u)
+		if len(ns) > 0 {
+			v := ns[s.rng.Intn(len(ns))]
+			ns2 := s.g.Neighbors(v)
+			if len(ns2) > 0 {
+				return ns2[s.rng.Intn(len(ns2))], true
+			}
+		}
+		// fall through when u has no two-hop neighborhood yet
+	}
+
+	// Homophily: most non-triangle edges stay inside the home community.
+	local := s.rng.Float64() < s.cfg.Attach.CommunityBias
+
+	// Preferential attachment — finding popular people, usually within
+	// one's own community, sometimes anywhere. Its weight decays with
+	// network size (the Fig 3c mechanism).
+	if s.rng.Float64() < s.paWeight() {
+		if local {
+			if pool := s.commPA[st.comm]; len(pool) > 0 {
+				return pool[s.rng.Intn(len(pool))], true
+			}
+		}
+		if v, ok := s.pa.Sample(s.rng); ok {
+			return v, true
+		}
+	}
+
+	// Otherwise a random acquaintance, community-biased the same way.
+	if local {
+		if pool := s.commMembers[st.comm]; len(pool) > 1 {
+			return pool[s.rng.Intn(len(pool))], true
+		}
+	}
+	if len(s.nodes) == 0 {
+		return 0, false
+	}
+	return graph.NodeID(s.rng.Intn(len(s.nodes))), true
+}

@@ -1,0 +1,109 @@
+package graph
+
+// Unreachable is the distance reported for nodes not reachable from the
+// BFS source.
+const Unreachable = -1
+
+// BFS computes hop distances from src to every node. The result slice has
+// one entry per node; unreachable nodes get Unreachable.
+func (g *Graph) BFS(src NodeID) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || int(src) >= len(g.adj) {
+		return dist
+	}
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	dist[src] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSWithin is like BFS but only traverses nodes for which allowed returns
+// true (the source is always traversed). A nil predicate allows all nodes.
+// This supports the paper's inter-OSN distance experiment, which excludes
+// post-merge users and their edges (Fig 9c).
+func (g *Graph) BFSWithin(src NodeID, allowed func(NodeID) bool) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || int(src) >= len(g.adj) {
+		return dist
+	}
+	queue := []NodeID{src}
+	dist[src] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] != Unreachable {
+				continue
+			}
+			if allowed != nil && !allowed(v) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// ShortestToSet returns the hop distance from src to the nearest node for
+// which target returns true, traversing only allowed nodes (nil allows all).
+// Target nodes themselves must be allowed to be reached. It returns
+// Unreachable when no target can be reached.
+func (g *Graph) ShortestToSet(src NodeID, target func(NodeID) bool, allowed func(NodeID) bool) int32 {
+	if src < 0 || int(src) >= len(g.adj) {
+		return Unreachable
+	}
+	if target(src) {
+		return 0
+	}
+	dist := make(map[NodeID]int32, 1024)
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			if allowed != nil && !allowed(v) {
+				continue
+			}
+			if target(v) {
+				return du + 1
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+		}
+	}
+	return Unreachable
+}
+
+// ComponentOf returns all nodes in the connected component containing src.
+func (g *Graph) ComponentOf(src NodeID) []NodeID {
+	dist := g.BFS(src)
+	var out []NodeID
+	for i, d := range dist {
+		if d != Unreachable {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

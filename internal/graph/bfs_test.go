@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// path builds 0-1-2-...-n-1.
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return g
+}
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	d := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != int32(i) {
+			t.Fatalf("dist[%d] = %d", i, d[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(0)
+	g.AddEdge(0, 1)
+	g.EnsureNode(3)
+	d := g.BFS(0)
+	if d[2] != Unreachable || d[3] != Unreachable {
+		t.Fatalf("isolated nodes must be unreachable: %v", d)
+	}
+	if d[1] != 1 {
+		t.Fatalf("dist[1] = %d", d[1])
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := path(3)
+	d := g.BFS(-1)
+	for _, x := range d {
+		if x != Unreachable {
+			t.Fatal("bad source must reach nothing")
+		}
+	}
+	d = g.BFS(100)
+	for _, x := range d {
+		if x != Unreachable {
+			t.Fatal("out-of-range source must reach nothing")
+		}
+	}
+}
+
+func TestBFSWithinPredicate(t *testing.T) {
+	// 0-1-2 and 0-3-2: blocking node 1 forces the longer route.
+	g := New(0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 2)
+	d := g.BFSWithin(0, func(v NodeID) bool { return v != 1 })
+	if d[1] != Unreachable {
+		t.Fatalf("blocked node reached: %v", d)
+	}
+	if d[2] != 2 {
+		t.Fatalf("dist[2] = %d, want 2 via 3", d[2])
+	}
+	// nil predicate behaves like BFS.
+	d2 := g.BFSWithin(0, nil)
+	d3 := g.BFS(0)
+	for i := range d2 {
+		if d2[i] != d3[i] {
+			t.Fatalf("nil predicate mismatch at %d", i)
+		}
+	}
+}
+
+func TestShortestToSet(t *testing.T) {
+	g := path(6)
+	target := func(v NodeID) bool { return v == 4 || v == 5 }
+	if d := g.ShortestToSet(0, target, nil); d != 4 {
+		t.Fatalf("dist = %d, want 4", d)
+	}
+	if d := g.ShortestToSet(4, target, nil); d != 0 {
+		t.Fatalf("src in target set: dist = %d, want 0", d)
+	}
+	// Blocked by predicate.
+	if d := g.ShortestToSet(0, target, func(v NodeID) bool { return v != 3 }); d != Unreachable {
+		t.Fatalf("dist = %d, want unreachable when cut", d)
+	}
+	if d := g.ShortestToSet(-1, target, nil); d != Unreachable {
+		t.Fatalf("bad src: %d", d)
+	}
+}
+
+func TestShortestToSetMatchesBFS(t *testing.T) {
+	rng := stats.NewRand(5)
+	g := New(0)
+	const n = 60
+	for i := 0; i < 150; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g.EnsureNode(n - 1)
+	targets := map[NodeID]bool{7: true, 23: true, 41: true}
+	target := func(v NodeID) bool { return targets[v] }
+	for src := NodeID(0); src < n; src++ {
+		want := int32(Unreachable)
+		d := g.BFS(src)
+		for v := range targets {
+			if d[v] != Unreachable && (want == Unreachable || d[v] < want) {
+				want = d[v]
+			}
+		}
+		if got := g.ShortestToSet(src, target, nil); got != want {
+			t.Fatalf("src %d: got %d want %d", src, got, want)
+		}
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	g := New(0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comp := g.ComponentOf(1)
+	if len(comp) != 3 {
+		t.Fatalf("component = %v", comp)
+	}
+}
+
+func TestBFSTriangleInequality(t *testing.T) {
+	// Property: for edge (u,v), |dist(s,u) - dist(s,v)| <= 1 when both reachable.
+	rng := stats.NewRand(9)
+	g := New(0)
+	const n = 80
+	for i := 0; i < 200; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	d := g.BFS(0)
+	bad := false
+	g.ForEachEdge(func(u, v NodeID) {
+		if d[u] != Unreachable && d[v] != Unreachable {
+			diff := d[u] - d[v]
+			if diff < -1 || diff > 1 {
+				bad = true
+			}
+		}
+	})
+	if bad {
+		t.Fatal("BFS distances violate edge Lipschitz property")
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// size, used for incremental connected-component tracking while a trace
+// streams in.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind creates a union-find over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), size: make([]int32, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Grow extends the structure to n elements, adding singletons.
+func (uf *UnionFind) Grow(n int) {
+	for len(uf.parent) < n {
+		uf.parent = append(uf.parent, int32(len(uf.parent)))
+		uf.size = append(uf.size, 1)
+		uf.sets++
+	}
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y; it reports whether a merge
+// happened (false if they were already together).
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// SetCount returns the number of disjoint sets.
+func (uf *UnionFind) SetCount() int { return uf.sets }
+
+// SizeOf returns the size of the set containing x.
+func (uf *UnionFind) SizeOf(x int32) int32 { return uf.size[uf.Find(x)] }
+
+// Len returns the number of elements tracked.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// LargestComponent returns the member nodes of the graph's largest connected
+// component (ties broken by lowest representative id).
+func (g *Graph) LargestComponent() []NodeID {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	uf := NewUnionFind(n)
+	g.ForEachEdge(func(u, v NodeID) { uf.Union(u, v) })
+	best := int32(0)
+	bestSize := int32(0)
+	for i := 0; i < n; i++ {
+		r := uf.Find(int32(i))
+		if r == int32(i) && uf.size[r] > bestSize {
+			best, bestSize = r, uf.size[r]
+		}
+	}
+	out := make([]NodeID, 0, bestSize)
+	for i := 0; i < n; i++ {
+		if uf.Find(int32(i)) == best {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

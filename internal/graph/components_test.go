@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.SetCount() != 5 || uf.Len() != 5 {
+		t.Fatalf("fresh UF: sets=%d len=%d", uf.SetCount(), uf.Len())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union must merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeat union must not merge")
+	}
+	if !uf.Connected(0, 1) || uf.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	if uf.SizeOf(0) != 2 || uf.SizeOf(2) != 1 {
+		t.Fatalf("sizes %d %d", uf.SizeOf(0), uf.SizeOf(2))
+	}
+	if uf.SetCount() != 4 {
+		t.Fatalf("sets = %d", uf.SetCount())
+	}
+}
+
+func TestUnionFindGrow(t *testing.T) {
+	uf := NewUnionFind(2)
+	uf.Union(0, 1)
+	uf.Grow(4)
+	if uf.Len() != 4 || uf.SetCount() != 3 {
+		t.Fatalf("after grow: len=%d sets=%d", uf.Len(), uf.SetCount())
+	}
+	if uf.Connected(2, 3) {
+		t.Fatal("new elements must be singletons")
+	}
+	uf.Grow(2) // no-op
+	if uf.Len() != 4 {
+		t.Fatal("Grow must never shrink")
+	}
+}
+
+func TestUnionFindMatchesBFS(t *testing.T) {
+	rng := stats.NewRand(21)
+	g := New(0)
+	const n = 50
+	g.EnsureNode(n - 1)
+	uf := NewUnionFind(n)
+	for i := 0; i < 60; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if g.AddEdge(u, v) == nil {
+			uf.Union(u, v)
+		}
+	}
+	for s := NodeID(0); s < n; s++ {
+		d := g.BFS(s)
+		for v := NodeID(0); v < n; v++ {
+			bfsConn := d[v] != Unreachable
+			if bfsConn != uf.Connected(s, v) {
+				t.Fatalf("connectivity mismatch %d-%d", s, v)
+			}
+		}
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New(0)
+	// Component A: 0-1-2-3 (4 nodes). Component B: 5-6 (2 nodes). 4 isolated.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(5, 6)
+	g.EnsureNode(4)
+	lc := g.LargestComponent()
+	if len(lc) != 4 {
+		t.Fatalf("largest = %v", lc)
+	}
+	want := map[NodeID]bool{0: true, 1: true, 2: true, 3: true}
+	for _, v := range lc {
+		if !want[v] {
+			t.Fatalf("unexpected member %d", v)
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	g := New(0)
+	if lc := g.LargestComponent(); lc != nil {
+		t.Fatalf("empty graph largest = %v", lc)
+	}
+}
+
+func TestUnionFindSizeSum(t *testing.T) {
+	rng := stats.NewRand(4)
+	uf := NewUnionFind(100)
+	for i := 0; i < 300; i++ {
+		uf.Union(int32(rng.Intn(100)), int32(rng.Intn(100)))
+	}
+	// Sum of distinct root sizes must equal element count.
+	total := int32(0)
+	for i := int32(0); i < 100; i++ {
+		if uf.Find(i) == i {
+			total += uf.SizeOf(i)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("size sum = %d", total)
+	}
+}

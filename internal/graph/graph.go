@@ -1,0 +1,134 @@
+// Package graph implements the dynamic undirected graph substrate the
+// reproduction is built on: an append-only adjacency structure sized for
+// millions of edges, breadth-first traversals, connected components, and a
+// degree-proportional sampler used by preferential-attachment processes.
+//
+// Node identifiers are dense int32 values assigned in arrival order, which
+// matches the paper's anonymized event stream where users are numbered by
+// account-creation time.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node. IDs are dense and assigned in arrival order.
+type NodeID = int32
+
+// Graph is a growing undirected simple graph. The zero value is ready to use.
+// Graph is not safe for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	adj   [][]NodeID
+	edges int64
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(nHint int) *Graph {
+	return &Graph{adj: make([][]NodeID, 0, nHint)}
+}
+
+// AddNode appends a new node and returns its id.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// EnsureNode grows the graph so that id is a valid node.
+func (g *Graph) EnsureNode(id NodeID) {
+	for NodeID(len(g.adj)) <= id {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.edges }
+
+// Degree returns the degree of node u, or 0 for out-of-range ids.
+func (g *Graph) Degree(u NodeID) int {
+	if u < 0 || int(u) >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if u < 0 || int(u) >= len(g.adj) {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists. It scans the
+// smaller adjacency list, so it is O(min(deg(u), deg(v))).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrSelfLoop is returned by AddEdge for u == v.
+var ErrSelfLoop = errors.New("graph: self loop")
+
+// ErrDuplicateEdge is returned by AddEdge when the edge already exists.
+var ErrDuplicateEdge = errors.New("graph: duplicate edge")
+
+// AddEdge inserts the undirected edge {u, v}, growing the node set as
+// needed. Self loops and duplicate edges are rejected.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return ErrSelfLoop
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative node id (%d, %d)", u, v)
+	}
+	hi := u
+	if v > hi {
+		hi = v
+	}
+	g.EnsureNode(hi)
+	if g.HasEdge(u, v) {
+		return ErrDuplicateEdge
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	return nil
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v NodeID)) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				fn(NodeID(u), v)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]NodeID, len(g.adj)), edges: g.edges}
+	for i, ns := range g.adj {
+		if len(ns) > 0 {
+			c.adj[i] = append([]NodeID(nil), ns...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// floydWarshall computes all-pairs shortest paths as an oracle.
+func floydWarshall(g *Graph) [][]int32 {
+	n := g.NumNodes()
+	const inf = int32(1 << 30)
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = inf
+			}
+		}
+	}
+	g.ForEachEdge(func(u, v NodeID) {
+		d[u][v] = 1
+		d[v][u] = 1
+	})
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] >= inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d[k][j] < inf && d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestBFSMatchesFloydWarshall cross-checks BFS against the O(n^3) oracle on
+// random small graphs.
+func TestBFSMatchesFloydWarshall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.Intn(18)
+		g := New(n)
+		g.EnsureNode(NodeID(n - 1))
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		oracle := floydWarshall(g)
+		for s := 0; s < n; s++ {
+			bfs := g.BFS(NodeID(s))
+			for v := 0; v < n; v++ {
+				want := oracle[s][v]
+				if want >= 1<<30 {
+					want = Unreachable
+				}
+				if bfs[v] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+import "math/rand"
+
+// PASampler draws nodes with probability proportional to their degree in
+// O(1) by keeping one entry per edge endpoint. It is the core primitive of
+// the preferential-attachment process in the trace generator (§3 of the
+// paper: "nodes with higher degrees are more likely to be selected").
+//
+// The sampler is fed edge insertions via Observe and stays consistent with
+// the graph it mirrors as long as every accepted edge is observed exactly
+// once.
+type PASampler struct {
+	endpoints []NodeID
+}
+
+// NewPASampler returns an empty sampler with a capacity hint for e edges.
+func NewPASampler(eHint int) *PASampler {
+	return &PASampler{endpoints: make([]NodeID, 0, 2*eHint)}
+}
+
+// Observe records the insertion of edge {u, v}.
+func (s *PASampler) Observe(u, v NodeID) {
+	s.endpoints = append(s.endpoints, u, v)
+}
+
+// Sample draws one node with probability proportional to degree. It reports
+// false when no edges have been observed yet.
+func (s *PASampler) Sample(rng *rand.Rand) (NodeID, bool) {
+	if len(s.endpoints) == 0 {
+		return 0, false
+	}
+	return s.endpoints[rng.Intn(len(s.endpoints))], true
+}
+
+// Len returns the number of stored endpoints (2 × observed edges).
+func (s *PASampler) Len() int { return len(s.endpoints) }

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPASamplerEmpty(t *testing.T) {
+	s := NewPASampler(0)
+	if _, ok := s.Sample(stats.NewRand(1)); ok {
+		t.Fatal("empty sampler must report !ok")
+	}
+}
+
+func TestPASamplerProportional(t *testing.T) {
+	// Star around node 0 with 9 leaves: deg(0)=9, leaves deg 1.
+	s := NewPASampler(16)
+	for v := NodeID(1); v <= 9; v++ {
+		s.Observe(0, v)
+	}
+	if s.Len() != 18 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	rng := stats.NewRand(2)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v, ok := s.Sample(rng)
+		if !ok {
+			t.Fatal("sampler empty")
+		}
+		if v == 0 {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.5) > 0.02 {
+		t.Fatalf("hub sampled with p=%v, want ~0.5", p)
+	}
+}
+
+func TestPASamplerTracksGraph(t *testing.T) {
+	// Property: endpoint multiset reflects degrees exactly.
+	rng := stats.NewRand(3)
+	g := New(0)
+	s := NewPASampler(0)
+	const n = 25
+	for i := 0; i < 120; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if g.AddEdge(u, v) == nil {
+			s.Observe(u, v)
+		}
+	}
+	counts := make([]int, n)
+	for _, e := range s.endpoints {
+		counts[e]++
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] != g.Degree(NodeID(i)) {
+			t.Fatalf("node %d: sampler count %d != degree %d", i, counts[i], g.Degree(NodeID(i)))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package louvain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// randomGraph builds a random graph with n nodes and ~e edges.
+func randomGraph(n, e int, rng interface{ Intn(int) int }) *graph.Graph {
+	g := graph.New(n)
+	g.EnsureNode(graph.NodeID(n - 1))
+	for i := 0; i < e; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+// TestModularityBounds: Q of any partition lies in [-1, 1].
+func TestModularityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		n := 3 + rng.Intn(30)
+		g := randomGraph(n, 3*n, rng)
+		comm := make([]int32, n)
+		k := 1 + rng.Intn(n)
+		for i := range comm {
+			comm[i] = int32(rng.Intn(k))
+		}
+		q := Modularity(g, comm)
+		return q >= -1.000001 && q <= 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunImprovesOnSingletons: Louvain's result is never worse than the
+// all-singletons partition it starts from.
+func TestRunImprovesOnSingletons(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		n := 3 + rng.Intn(40)
+		g := randomGraph(n, 2*n, rng)
+		res, err := Run(g, Options{Delta: 1e-6, Seed: seed})
+		if err != nil {
+			return false
+		}
+		singletons := make([]int32, n)
+		for i := range singletons {
+			singletons[i] = int32(i)
+		}
+		return res.Modularity >= Modularity(g, singletons)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionIsTotal: every node receives exactly one dense label.
+func TestPartitionIsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		n := 1 + rng.Intn(40)
+		g := randomGraph(n, 2*n, rng)
+		res, err := Run(g, Options{Seed: seed})
+		if err != nil || len(res.Community) != n {
+			return false
+		}
+		nc := int32(res.NumCommunities())
+		for _, c := range res.Community {
+			if c < 0 || c >= nc {
+				return false
+			}
+		}
+		// Labels dense: each label in [0, nc) appears at least once.
+		seen := make([]bool, nc)
+		for _, c := range res.Community {
+			seen[c] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalNeverCrashesOnGrowth simulates the pipeline pattern:
+// partitions seed the next run as the graph grows.
+func TestIncrementalNeverCrashesOnGrowth(t *testing.T) {
+	rng := stats.NewRand(33)
+	g := graph.New(0)
+	var prev []int32
+	for step := 0; step < 10; step++ {
+		for i := 0; i < 15; i++ {
+			g.AddNode()
+		}
+		n := g.NumNodes()
+		for i := 0; i < 25; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		init := make([]int32, n)
+		for i := range init {
+			if i < len(prev) {
+				init[i] = prev[i]
+			} else {
+				init[i] = -1
+			}
+		}
+		if prev == nil {
+			init = nil
+		}
+		res, err := Run(g, Options{Delta: 0.04, MaxLevels: 1, Seed: 1, Init: init})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = res.Community
+	}
+}

@@ -1,0 +1,162 @@
+// Package metrics computes the first-order graph metrics the paper tracks
+// over daily snapshots in §2 (Fig 1): average degree, average clustering
+// coefficient, degree assortativity, and sampled average path length.
+//
+// The path-length and clustering computations support node sampling, which
+// is the paper's own tractability device ("we follow the standard practice
+// of sampling nodes to make path length computation tractable").
+package metrics
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// AverageDegree returns 2E/N, the mean node degree, or 0 for an empty graph.
+func AverageDegree(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(n)
+}
+
+// LocalClustering returns the clustering coefficient of node u: the fraction
+// of pairs of u's neighbors that are themselves connected. Nodes with degree
+// < 2 have coefficient 0, matching the convention the paper inherits.
+func LocalClustering(g *graph.Graph, u graph.NodeID) float64 {
+	ns := g.Neighbors(u)
+	d := len(ns)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(ns[i], ns[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}
+
+// AverageClustering returns the mean local clustering coefficient over all
+// nodes (exact computation).
+func AverageClustering(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		sum += LocalClustering(g, graph.NodeID(u))
+	}
+	return sum / float64(n)
+}
+
+// SampledClustering estimates the average clustering coefficient from a
+// uniform sample of k nodes. With k >= NumNodes it is exact.
+func SampledClustering(g *graph.Graph, k int, rng *rand.Rand) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	if k >= n {
+		return AverageClustering(g)
+	}
+	ids := stats.SampleWithoutReplacement(n, k, rng)
+	var sum float64
+	for _, u := range ids {
+		sum += LocalClustering(g, graph.NodeID(u))
+	}
+	return sum / float64(len(ids))
+}
+
+// Assortativity returns the degree assortativity coefficient: the Pearson
+// correlation of the degrees at either end of every edge (both orientations
+// counted, the standard Newman formulation). It returns 0 for graphs with
+// no edges or uniform degrees. The computation streams over edges without
+// materializing the degree pairs, so it is allocation-free even on
+// million-edge snapshots.
+func Assortativity(g *graph.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	// With both orientations counted, Σx = Σy and Σx² = Σy², so only one
+	// side's moments are needed.
+	var n, sx, sxx, sxy float64
+	g.ForEachEdge(func(u, v graph.NodeID) {
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		n += 2
+		sx += du + dv
+		sxx += du*du + dv*dv
+		sxy += 2 * du * dv
+	})
+	varX := sxx - sx*sx/n
+	if varX <= 0 {
+		return 0
+	}
+	cov := sxy - sx*sx/n
+	return cov / varX
+}
+
+// ErrNoSample is returned when a sampled estimate has nothing to average.
+var ErrNoSample = errors.New("metrics: no valid samples")
+
+// SampledPathLength estimates the average shortest-path length by running
+// BFS from k sources sampled uniformly from the graph's largest connected
+// component and averaging distances to every reachable node, the procedure
+// the paper uses with k=1000 on each snapshot (Fig 1d).
+func SampledPathLength(g *graph.Graph, k int, rng *rand.Rand) (float64, error) {
+	comp := g.LargestComponent()
+	if len(comp) < 2 {
+		return 0, ErrNoSample
+	}
+	var sources []graph.NodeID
+	if k >= len(comp) {
+		sources = comp
+	} else {
+		for _, i := range stats.SampleWithoutReplacement(len(comp), k, rng) {
+			sources = append(sources, comp[i])
+		}
+	}
+	var total float64
+	var count int64
+	for _, s := range sources {
+		dist := g.BFS(s)
+		for v, d := range dist {
+			if d > 0 && graph.NodeID(v) != s {
+				total += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, ErrNoSample
+	}
+	return total / float64(count), nil
+}
+
+// DegreeHistogram returns counts of nodes by degree.
+func DegreeHistogram(g *graph.Graph) *stats.IntCounts {
+	var c stats.IntCounts
+	for u := 0; u < g.NumNodes(); u++ {
+		c.Add(g.Degree(graph.NodeID(u)))
+	}
+	return &c
+}
+
+// Snapshot bundles the Fig 1 metrics measured on one daily snapshot.
+type Snapshot struct {
+	Day        int32
+	Nodes      int64
+	Edges      int64
+	AvgDegree  float64
+	PathLength float64 // NaN-free: 0 when not measured that day
+	Clustering float64
+	Assort     float64
+}

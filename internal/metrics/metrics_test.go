@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func triangle() *graph.Graph {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return g
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, graph.NodeID(i))
+	}
+	return g
+}
+
+func TestAverageDegree(t *testing.T) {
+	if got := AverageDegree(graph.New(0)); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := AverageDegree(triangle()); got != 2 {
+		t.Fatalf("triangle = %v, want 2", got)
+	}
+	// Star with 4 leaves: 2*4/5.
+	if got := AverageDegree(star(4)); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("star = %v, want 1.6", got)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	g := triangle()
+	for u := graph.NodeID(0); u < 3; u++ {
+		if got := LocalClustering(g, u); got != 1 {
+			t.Fatalf("triangle node %d = %v", u, got)
+		}
+	}
+	s := star(5)
+	if got := LocalClustering(s, 0); got != 0 {
+		t.Fatalf("star hub = %v", got)
+	}
+	if got := LocalClustering(s, 1); got != 0 {
+		t.Fatalf("degree-1 leaf = %v", got)
+	}
+}
+
+func TestLocalClusteringPartial(t *testing.T) {
+	// Node 0 adjacent to 1,2,3; only 1-2 connected → C = 1/3.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	if got := LocalClustering(g, 0); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("C(0) = %v, want 1/3", got)
+	}
+}
+
+func TestAverageClustering(t *testing.T) {
+	if got := AverageClustering(graph.New(0)); got != 0 {
+		t.Fatal("empty graph")
+	}
+	if got := AverageClustering(triangle()); got != 1 {
+		t.Fatalf("triangle = %v", got)
+	}
+	if got := AverageClustering(star(6)); got != 0 {
+		t.Fatalf("star = %v", got)
+	}
+}
+
+func TestSampledClusteringExactWhenKLarge(t *testing.T) {
+	g := triangle()
+	rng := stats.NewRand(1)
+	if got := SampledClustering(g, 100, rng); got != 1 {
+		t.Fatalf("sampled(k>n) = %v", got)
+	}
+	if got := SampledClustering(graph.New(0), 10, rng); got != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestSampledClusteringApproximates(t *testing.T) {
+	// Graph of many disjoint triangles: true average clustering = 1.
+	g := graph.New(0)
+	for i := 0; i < 300; i += 3 {
+		a, b, c := graph.NodeID(i), graph.NodeID(i+1), graph.NodeID(i+2)
+		g.AddEdge(a, b)
+		g.AddEdge(b, c)
+		g.AddEdge(a, c)
+	}
+	rng := stats.NewRand(2)
+	got := SampledClustering(g, 50, rng)
+	if got != 1 {
+		t.Fatalf("sampled = %v, want exactly 1 (every node has C=1)", got)
+	}
+}
+
+func TestAssortativityStar(t *testing.T) {
+	// Star: hubs connect to leaves only → strongly disassortative (-1).
+	if got := Assortativity(star(8)); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("star assortativity = %v, want -1", got)
+	}
+}
+
+func TestAssortativityRegularGraph(t *testing.T) {
+	// Cycle: all degrees equal → correlation undefined → 0 by convention.
+	g := graph.New(0)
+	const n = 10
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	if got := Assortativity(g); got != 0 {
+		t.Fatalf("cycle = %v, want 0", got)
+	}
+	if got := Assortativity(graph.New(3)); got != 0 {
+		t.Fatal("edgeless graph must be 0")
+	}
+}
+
+func TestAssortativityRange(t *testing.T) {
+	rng := stats.NewRand(8)
+	g := graph.New(0)
+	for i := 0; i < 400; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(100)), graph.NodeID(rng.Intn(100)))
+	}
+	r := Assortativity(g)
+	if r < -1 || r > 1 {
+		t.Fatalf("assortativity out of range: %v", r)
+	}
+}
+
+func TestSampledPathLengthPath(t *testing.T) {
+	// Path 0-1-2-3: exact average over ordered reachable pairs.
+	g := graph.New(0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	rng := stats.NewRand(1)
+	got, err := SampledPathLength(g, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair distances: 1,2,3,1,2,1 → mean = 10/6 over unordered, same over ordered.
+	want := 10.0 / 6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("APL = %v, want %v", got, want)
+	}
+}
+
+func TestSampledPathLengthUsesLargestComponent(t *testing.T) {
+	g := graph.New(0)
+	// Big component: square. Small: single edge.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	g.AddEdge(10, 11)
+	rng := stats.NewRand(1)
+	got, err := SampledPathLength(g, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Square: distances 1,1,2 from each node → mean 4/3.
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("APL = %v, want 4/3", got)
+	}
+}
+
+func TestSampledPathLengthErrors(t *testing.T) {
+	rng := stats.NewRand(1)
+	if _, err := SampledPathLength(graph.New(0), 5, rng); err != ErrNoSample {
+		t.Fatalf("err = %v", err)
+	}
+	g := graph.New(3) // isolated nodes only
+	g.AddNode()
+	if _, err := SampledPathLength(g, 5, rng); err != ErrNoSample {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSampledPathLengthSubsample(t *testing.T) {
+	// On a clique every distance is 1, so any sample gives exactly 1.
+	g := graph.New(0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	got, err := SampledPathLength(g, 5, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("clique APL = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(star(3))
+	if h.Count(3) != 1 || h.Count(1) != 3 || h.Count(0) != 0 {
+		t.Fatalf("histogram wrong: %+v", h)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}

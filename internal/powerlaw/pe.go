@@ -1,0 +1,172 @@
+// Package powerlaw measures the strength of preferential attachment the way
+// the paper does in §3.2: it accumulates the edge probability
+//
+//	p_e(d) = Σ_t [deg_{t-1}(dest(e_t)) = d] / Σ_t |{v : deg_{t-1}(v) = d}|
+//
+// over an edge stream, fits p_e(d) ∝ d^α by least squares in log-log space,
+// and reports the fit's mean squared error in linear space (the paper's
+// goodness metric). Because the Renren data lacks edge directionality, the
+// paper brackets the truth with two destination-selection rules — always the
+// higher-degree endpoint (biased toward PA) and a uniformly random endpoint —
+// and so do we.
+package powerlaw
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// DestRule selects which endpoint of an undirected edge is treated as the
+// "destination" when measuring p_e(d).
+type DestRule uint8
+
+const (
+	// DestHigherDegree always picks the higher-degree endpoint (upper
+	// bound on PA strength; ties broken toward the first endpoint).
+	DestHigherDegree DestRule = iota
+	// DestRandom picks an endpoint uniformly at random (lower bound).
+	DestRandom
+)
+
+// String names the rule.
+func (r DestRule) String() string {
+	if r == DestHigherDegree {
+		return "higher-degree"
+	}
+	return "random"
+}
+
+// PEEstimator accumulates p_e(d) incrementally over a node/edge event
+// stream. The denominator — the node-count-by-degree summed over every edge
+// time step — is maintained lazily so the whole stream costs O(1) amortized
+// per event rather than O(max degree).
+type PEEstimator struct {
+	rule DestRule
+	rng  *rand.Rand
+
+	deg []int32 // current degree of each node
+
+	numer []int64 // numer[d]: edges whose destination had degree d
+
+	countByDeg []int64   // current number of nodes with degree d
+	cum        []float64 // Σ over past steps of countByDeg[d]
+	lastStep   []int64   // step at which cum[d] was last folded
+	step       int64     // number of edge events processed so far
+}
+
+// NewPEEstimator creates an estimator. rng is only used by DestRandom; it
+// must be non-nil for that rule.
+func NewPEEstimator(rule DestRule, rng *rand.Rand) *PEEstimator {
+	return &PEEstimator{rule: rule, rng: rng}
+}
+
+// ensureDeg grows the per-degree arrays to cover degree d.
+func (e *PEEstimator) ensureDeg(d int32) {
+	for int32(len(e.countByDeg)) <= d {
+		e.countByDeg = append(e.countByDeg, 0)
+		e.cum = append(e.cum, 0)
+		e.lastStep = append(e.lastStep, e.step)
+		e.numer = append(e.numer, 0)
+	}
+}
+
+// fold brings cum[d] up to date with the current step.
+func (e *PEEstimator) fold(d int32) {
+	e.cum[d] += float64(e.countByDeg[d]) * float64(e.step-e.lastStep[d])
+	e.lastStep[d] = e.step
+}
+
+// setCount changes countByDeg[d] by delta, folding first.
+func (e *PEEstimator) setCount(d int32, delta int64) {
+	e.ensureDeg(d)
+	e.fold(d)
+	e.countByDeg[d] += delta
+}
+
+// ObserveNode registers the arrival of node u (degree 0).
+func (e *PEEstimator) ObserveNode(u graph.NodeID) {
+	for int32(len(e.deg)) <= u {
+		e.deg = append(e.deg, 0)
+		e.setCount(0, 1)
+	}
+}
+
+// ObserveEdge registers edge {u, v}. Both endpoints must have been observed.
+// Degrees used for destination selection and the numerator are the degrees
+// *before* this edge, matching the paper's d_{t-1} definition.
+func (e *PEEstimator) ObserveEdge(u, v graph.NodeID) {
+	e.step++
+	du, dv := e.deg[u], e.deg[v]
+	destDeg := du
+	switch e.rule {
+	case DestHigherDegree:
+		if dv > du {
+			destDeg = dv
+		}
+	case DestRandom:
+		if e.rng.Intn(2) == 1 {
+			destDeg = dv
+		}
+	}
+	e.ensureDeg(destDeg)
+	e.numer[destDeg]++
+
+	// Apply the edge: both endpoints move up one degree class.
+	for _, w := range []graph.NodeID{u, v} {
+		d := e.deg[w]
+		e.setCount(d, -1)
+		e.setCount(d+1, 1)
+		e.deg[w] = d + 1
+	}
+}
+
+// Steps returns the number of edges observed.
+func (e *PEEstimator) Steps() int64 { return e.step }
+
+// Point is one measured (degree, probability) sample of p_e.
+type Point struct {
+	Degree int
+	PE     float64
+}
+
+// Snapshot returns the current p_e(d) for all degrees with a nonzero
+// numerator and denominator. d = 0 is included in the output but excluded
+// from power-law fits (log 0).
+func (e *PEEstimator) Snapshot() []Point {
+	var out []Point
+	for d := range e.numer {
+		if e.numer[d] == 0 {
+			continue
+		}
+		denom := e.cum[d] + float64(e.countByDeg[d])*float64(e.step-e.lastStep[d])
+		if denom <= 0 {
+			continue
+		}
+		out = append(out, Point{Degree: d, PE: float64(e.numer[d]) / denom})
+	}
+	return out
+}
+
+// ErrTooFewPoints is returned by Fit when p_e has fewer than two positive-
+// degree samples.
+var ErrTooFewPoints = errors.New("powerlaw: too few p_e points to fit")
+
+// Fit fits p_e(d) = C * d^alpha over positive degrees and returns alpha and
+// the linear-space MSE of the fit.
+func (e *PEEstimator) Fit() (alpha, c, mse float64, err error) {
+	pts := e.Snapshot()
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.Degree > 0 {
+			xs = append(xs, float64(p.Degree))
+			ys = append(ys, p.PE)
+		}
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrTooFewPoints
+	}
+	return stats.FitPowerLaw(xs, ys)
+}

@@ -1,0 +1,304 @@
+package powerlaw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// bruteDenominator recomputes Σ_t |{v: deg_{t-1}(v)=d}| naively for an
+// event stream and compares with the estimator's lazy accounting.
+func TestDenominatorMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRand(1)
+	type edge struct{ u, v graph.NodeID }
+
+	// Build a random valid stream: 20 nodes, 60 edge attempts.
+	var nodes int32 = 0
+	var stream []interface{}
+	deg := map[graph.NodeID]int32{}
+	seen := map[[2]graph.NodeID]bool{}
+	for i := 0; i < 200; i++ {
+		if nodes < 2 || rng.Intn(3) == 0 {
+			stream = append(stream, nodes)
+			deg[nodes] = 0
+			nodes++
+		} else {
+			u, v := graph.NodeID(rng.Intn(int(nodes))), graph.NodeID(rng.Intn(int(nodes)))
+			if u == v {
+				continue
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]graph.NodeID{a, b}] {
+				continue
+			}
+			seen[[2]graph.NodeID{a, b}] = true
+			stream = append(stream, edge{u, v})
+		}
+	}
+
+	est := NewPEEstimator(DestHigherDegree, nil)
+	brute := map[int32]float64{} // degree -> Σ over steps of count
+	cur := map[graph.NodeID]int32{}
+	for _, item := range stream {
+		switch x := item.(type) {
+		case int32:
+			est.ObserveNode(x)
+			cur[x] = 0
+		case edge:
+			// Before applying: add current count-by-degree into brute.
+			counts := map[int32]int64{}
+			for _, d := range cur {
+				counts[d]++
+			}
+			for d, c := range counts {
+				brute[d] += float64(c)
+			}
+			est.ObserveEdge(x.u, x.v)
+			cur[x.u]++
+			cur[x.v]++
+		}
+	}
+	// Compare: estimator's denominator for degree d is cum + pending fold.
+	for d := int32(0); d < int32(len(est.cum)); d++ {
+		got := est.cum[d] + float64(est.countByDeg[d])*float64(est.step-est.lastStep[d])
+		if math.Abs(got-brute[d]) > 1e-9 {
+			t.Fatalf("denominator mismatch at degree %d: got %v want %v", d, got, brute[d])
+		}
+	}
+}
+
+// purePA grows a graph by strict preferential attachment and checks α ≈ 1.
+func TestPureStreamAlphaNearOne(t *testing.T) {
+	rng := stats.NewRand(7)
+	est := NewPEEstimator(DestHigherDegree, nil)
+	g := graph.New(0)
+	sampler := graph.NewPASampler(0)
+
+	// Seed: two nodes and one edge.
+	a, b := g.AddNode(), g.AddNode()
+	est.ObserveNode(a)
+	est.ObserveNode(b)
+	g.AddEdge(a, b)
+	est.ObserveEdge(a, b)
+	sampler.Observe(a, b)
+
+	for i := 0; i < 4000; i++ {
+		u := g.AddNode()
+		est.ObserveNode(u)
+		// Each newcomer attaches to 2 degree-proportional targets.
+		for k := 0; k < 2; k++ {
+			v, _ := sampler.Sample(rng)
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+			est.ObserveEdge(u, v)
+			sampler.Observe(u, v)
+		}
+	}
+	alpha, _, mse, err := est.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 0.75 || alpha > 1.25 {
+		t.Fatalf("pure PA alpha = %v, want ≈1", alpha)
+	}
+	if mse < 0 {
+		t.Fatalf("mse = %v", mse)
+	}
+}
+
+// Uniform-random attachment must yield α near 0 under the random rule.
+func TestRandomStreamAlphaNearZero(t *testing.T) {
+	rng := stats.NewRand(9)
+	est := NewPEEstimator(DestRandom, stats.NewRand(10))
+	g := graph.New(0)
+	a, b := g.AddNode(), g.AddNode()
+	est.ObserveNode(a)
+	est.ObserveNode(b)
+	g.AddEdge(a, b)
+	est.ObserveEdge(a, b)
+
+	// Edges between uniformly random existing node pairs: destination degree
+	// is then degree-independent, the definition of non-preferential growth.
+	for i := 0; i < 4000; i++ {
+		u := g.AddNode()
+		est.ObserveNode(u)
+		for k := 0; k < 2; k++ {
+			x := graph.NodeID(rng.Intn(g.NumNodes()))
+			y := graph.NodeID(rng.Intn(g.NumNodes()))
+			if x == y || g.HasEdge(x, y) {
+				continue
+			}
+			g.AddEdge(x, y)
+			est.ObserveEdge(x, y)
+		}
+	}
+	alpha, _, _, err := est.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha) > 0.35 {
+		t.Fatalf("random attachment alpha = %v, want ≈0", alpha)
+	}
+}
+
+func TestFitTooFewPoints(t *testing.T) {
+	est := NewPEEstimator(DestHigherDegree, nil)
+	est.ObserveNode(0)
+	est.ObserveNode(1)
+	if _, _, _, err := est.Fit(); err != ErrTooFewPoints {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotExcludesZeroDenominator(t *testing.T) {
+	est := NewPEEstimator(DestHigherDegree, nil)
+	est.ObserveNode(0)
+	est.ObserveNode(1)
+	est.ObserveEdge(0, 1)
+	for _, p := range est.Snapshot() {
+		if p.PE <= 0 || p.PE > 1 {
+			t.Fatalf("pe out of range: %+v", p)
+		}
+	}
+}
+
+func TestDestRuleString(t *testing.T) {
+	if DestHigherDegree.String() != "higher-degree" || DestRandom.String() != "random" {
+		t.Fatal("rule names wrong")
+	}
+}
+
+func TestHigherRuleAboveRandomRule(t *testing.T) {
+	// On the same PA-ish stream the higher-degree rule must fit a larger α
+	// than the random rule (the paper's 0.2 gap, Fig 3c).
+	rng := stats.NewRand(21)
+	tr := NewAlphaTracker(1000, 1000, stats.NewRand(22))
+	g := graph.New(0)
+	sampler := graph.NewPASampler(0)
+	a, b := g.AddNode(), g.AddNode()
+	tr.ObserveNode(a)
+	tr.ObserveNode(b)
+	g.AddEdge(a, b)
+	sampler.Observe(a, b)
+	tr.ObserveEdge(a, b, 0)
+	for i := 0; i < 3000; i++ {
+		u := g.AddNode()
+		tr.ObserveNode(u)
+		for k := 0; k < 2; k++ {
+			var v graph.NodeID
+			if rng.Intn(2) == 0 {
+				v, _ = sampler.Sample(rng)
+			} else {
+				v = graph.NodeID(rng.Intn(g.NumNodes()))
+			}
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+			sampler.Observe(u, v)
+			tr.ObserveEdge(u, v, int32(i/10))
+		}
+	}
+	samples := tr.Finish(300)
+	if len(samples) == 0 {
+		t.Fatal("no alpha samples")
+	}
+	last := samples[len(samples)-1]
+	if last.AlphaHigher <= last.AlphaRandom {
+		t.Fatalf("alpha ordering violated: higher=%v random=%v", last.AlphaHigher, last.AlphaRandom)
+	}
+}
+
+func TestAlphaTrackerScheduling(t *testing.T) {
+	tr := NewAlphaTracker(10, 20, stats.NewRand(1))
+	g := graph.New(0)
+	rng := stats.NewRand(2)
+	for i := 0; i < 100; i++ {
+		u := g.AddNode()
+		tr.ObserveNode(u)
+		if i == 0 {
+			continue
+		}
+		v := graph.NodeID(rng.Intn(int(u)))
+		if g.AddEdge(u, v) == nil {
+			tr.ObserveEdge(u, v, int32(i))
+		}
+	}
+	samples := tr.Finish(99)
+	if len(samples) == 0 {
+		t.Fatal("expected samples after min edges")
+	}
+	for _, s := range samples {
+		if s.Edges < 20 {
+			t.Fatalf("sample before MinEdges: %+v", s)
+		}
+	}
+	// Edge counts strictly increasing.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Edges <= samples[i-1].Edges {
+			t.Fatalf("non-increasing sample edges: %v then %v", samples[i-1].Edges, samples[i].Edges)
+		}
+	}
+	// Finish twice must not duplicate.
+	n := len(samples)
+	if got := tr.Finish(99); len(got) != n {
+		t.Fatalf("Finish added duplicate sample: %d -> %d", n, len(got))
+	}
+}
+
+func TestNewAlphaTrackerDefaultInterval(t *testing.T) {
+	tr := NewAlphaTracker(0, 0, stats.NewRand(1))
+	if tr.Interval != 5000 {
+		t.Fatalf("default interval = %d", tr.Interval)
+	}
+}
+
+func TestFitPolynomialOnSamples(t *testing.T) {
+	// α decaying linearly with edges: polynomial fit degree 1 recovers it.
+	var samples []AlphaSample
+	for i := 1; i <= 20; i++ {
+		e := int64(i * 1000)
+		samples = append(samples, AlphaSample{
+			Edges:       e,
+			AlphaHigher: 1.25 - 0.00003*float64(e),
+			AlphaRandom: 1.05 - 0.00003*float64(e),
+		})
+	}
+	coef, err := FitPolynomial(samples, DestHigherDegree, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-1.25) > 1e-9 || math.Abs(coef[1]+0.03) > 1e-9 {
+		t.Fatalf("coef = %v", coef)
+	}
+	coefR, err := FitPolynomial(samples, DestRandom, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coefR[0]-1.05) > 1e-9 {
+		t.Fatalf("coefR = %v", coefR)
+	}
+}
+
+func TestFitBucketPDF(t *testing.T) {
+	// Synthetic Pareto samples: density exponent should be ≈ alpha+1 = 2.5.
+	rng := stats.NewRand(13)
+	h, _ := stats.NewLogHistogram(1.6)
+	for i := 0; i < 200000; i++ {
+		h.Add(stats.Pareto(1, 1.5, rng))
+	}
+	gamma, err := FitBucketPDF(h.Buckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma < 2.1 || gamma > 2.9 {
+		t.Fatalf("gamma = %v, want ≈2.5", gamma)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "sort"
+
+// CDF is an empirical cumulative distribution function built from samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// index of first element > x
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x with P(X <= x) >= q, for q in (0,1].
+func (c *CDF) Quantile(q float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if q <= 0 {
+		return c.sorted[0], nil
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q*float64(len(c.sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i], nil
+}
+
+// Points returns up to max evenly spaced (x, P(X<=x)) points suitable for
+// plotting the CDF curve. If max <= 0 or exceeds the sample count, one point
+// per sample is returned.
+func (c *CDF) Points(max int) (xs, ps []float64) {
+	n := len(c.sorted)
+	if n == 0 {
+		return nil, nil
+	}
+	step := 1
+	if max > 0 && n > max {
+		step = n / max
+	}
+	for i := 0; i < n; i += step {
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	// Always include the final point so the curve reaches 1.
+	if xs[len(xs)-1] != c.sorted[n-1] || ps[len(ps)-1] != 1 {
+		xs = append(xs, c.sorted[n-1])
+		ps = append(ps, 1)
+	}
+	return xs, ps
+}

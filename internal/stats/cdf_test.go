@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Fatal("empty CDF must be 0 everywhere")
+	}
+	if _, err := c.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	xs, ps := c.Points(10)
+	if xs != nil || ps != nil {
+		t.Fatal("empty CDF Points must be nil")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {0.01, 10}, {0, 10}, {2, 40},
+	} {
+		got, err := c.Quantile(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 100
+	if got := c.At(3); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("CDF aliased caller slice: At(3)=%v", got)
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		c := NewCDF(xs)
+		px, pp := c.Points(37)
+		if len(px) == 0 || pp[len(pp)-1] != 1 {
+			return false
+		}
+		return sort.Float64sAreSorted(px) && sort.Float64sAreSorted(pp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantileAtInverse(t *testing.T) {
+	// Property: At(Quantile(q)) >= q.
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.94, 0.99, 1} {
+			v, err := c.Quantile(q)
+			if err != nil || c.At(v) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds the result of a simple least-squares line fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLine fits y = a + b*x by ordinary least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: need at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: x has zero variance")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return LinearFit{Intercept: a, Slope: b, R2: r2}, nil
+}
+
+// PolyFit fits a polynomial of the given degree by least squares, returning
+// coefficients c[0] + c[1]*x + ... + c[degree]*x^degree. The paper fits α(t)
+// with a degree-5 polynomial of the network edge count (Fig 3c).
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("stats: length mismatch")
+	}
+	if degree < 0 {
+		return nil, errors.New("stats: negative degree")
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return nil, errors.New("stats: not enough points for degree")
+	}
+	// Normal equations: (V^T V) c = V^T y with Vandermonde V.
+	a := make([][]float64, n) // augmented matrix n x (n+1)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	// Precompute power sums Σ x^k for k in [0, 2*degree] and Σ x^k y.
+	pow := make([]float64, 2*degree+1)
+	rhs := make([]float64, n)
+	for i := range xs {
+		xp := 1.0
+		for k := 0; k <= 2*degree; k++ {
+			pow[k] += xp
+			if k < n {
+				rhs[k] += xp * ys[i]
+			}
+			xp *= xs[i]
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			a[r][c] = pow[r+c]
+		}
+		a[r][n] = rhs[r]
+	}
+	if err := gaussSolve(a); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a[i][n]
+	}
+	return out, nil
+}
+
+// gaussSolve solves the augmented system in place with partial pivoting.
+func gaussSolve(a [][]float64) error {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return errors.New("stats: singular system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := a[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * a[c][n]
+		}
+		a[r][n] = s / a[r][r]
+	}
+	return nil
+}
+
+// PolyEval evaluates the polynomial with coefficients c (low order first) at x.
+func PolyEval(c []float64, x float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// FitPowerLaw fits y = C * x^alpha on positive data by least squares in
+// log-log space and reports the MSE of the fit in *linear* space, matching
+// the paper's goodness-of-fit metric for p_e(d) (Figs 3a–3b).
+func FitPowerLaw(xs, ys []float64) (alpha, c, mse float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: length mismatch")
+	}
+	var lx, ly []float64
+	var px, py []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+			px = append(px, xs[i])
+			py = append(py, ys[i])
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, 0, errors.New("stats: need at least two positive points")
+	}
+	fit, err := FitLine(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	alpha = fit.Slope
+	c = math.Exp(fit.Intercept)
+	var ss float64
+	for i := range px {
+		pred := c * math.Pow(px[i], alpha)
+		d := pred - py[i]
+		ss += d * d
+	}
+	mse = ss / float64(len(px))
+	return alpha, c, mse, nil
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format:
+//
+//	magic "RRT1" (4 bytes)
+//	uvarint meta length, JSON-encoded Meta
+//	uvarint event count
+//	per event: kind (1 byte), uvarint day delta from previous event,
+//	           then AddNode: uvarint node id, origin (1 byte)
+//	                AddEdge: uvarint u, uvarint v
+//
+// Day deltas and dense ids keep typical traces around 5–8 bytes/event.
+
+var magic = [4]byte{'R', 'R', 'T', '1'}
+
+// ErrBadMagic is returned when decoding a stream that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Encode writes tr to w in the binary trace format.
+func Encode(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	metaJSON, err := json.Marshal(tr.Meta)
+	if err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(metaJSON))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(metaJSON); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(tr.Events))); err != nil {
+		return err
+	}
+	prevDay := int32(0)
+	for i, ev := range tr.Events {
+		if ev.Day < prevDay {
+			return fmt.Errorf("trace: event %d day regression %d -> %d", i, prevDay, ev.Day)
+		}
+		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Day - prevDay)); err != nil {
+			return err
+		}
+		prevDay = ev.Day
+		switch ev.Kind {
+		case AddNode:
+			if err := putUvarint(uint64(ev.U)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(ev.Origin)); err != nil {
+				return err
+			}
+		case AddEdge:
+			if err := putUvarint(uint64(ev.U)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(ev.V)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the binary format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	metaLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if metaLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable meta length %d", metaLen)
+	}
+	metaJSON := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaJSON); err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(metaJSON, &tr.Meta); err != nil {
+		return nil, fmt.Errorf("trace: bad meta: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<33 {
+		return nil, fmt.Errorf("trace: unreasonable event count %d", count)
+	}
+	tr.Events = make([]Event, 0, count)
+	day := int32(0)
+	for i := uint64(0); i < count; i++ {
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d day: %w", i, err)
+		}
+		day += int32(delta)
+		ev := Event{Kind: Kind(kindByte), Day: day}
+		switch ev.Kind {
+		case AddNode:
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d node: %w", i, err)
+			}
+			origin, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d origin: %w", i, err)
+			}
+			ev.U = int32(u)
+			ev.Origin = Origin(origin)
+		case AddEdge:
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d u: %w", i, err)
+			}
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d v: %w", i, err)
+			}
+			ev.U, ev.V = int32(u), int32(v)
+		default:
+			return nil, fmt.Errorf("trace: event %d has unknown kind %d", i, kindByte)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return &tr, nil
+}

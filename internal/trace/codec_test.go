@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := &Trace{Events: tinyTrace()}
+	tr.Meta = Summarize(tr.Events)
+	tr.Meta.MergeDay = 2
+	tr.Meta.Seed = 42
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != tr.Meta {
+		t.Fatalf("meta round trip: got %+v want %+v", got.Meta, tr.Meta)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count %d != %d", len(got.Events), len(tr.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	tr := &Trace{Meta: Meta{MergeDay: -1}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 || got.Meta.MergeDay != -1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	_, err := Decode(bytes.NewReader([]byte("NOPE....")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	tr := &Trace{Events: tinyTrace()}
+	tr.Meta = Summarize(tr.Events)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// Empty stream.
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncodeRejectsDayRegression(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: AddNode, Day: 3, U: 0},
+		{Kind: AddNode, Day: 1, U: 1},
+	}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err == nil {
+		t.Fatal("want day regression error")
+	}
+}
+
+func TestEncodeRejectsUnknownKind(t *testing.T) {
+	tr := &Trace{Events: []Event{{Kind: Kind(7), Day: 0}}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err == nil {
+		t.Fatal("want unknown kind error")
+	}
+}
+
+// TestCodecRoundTripRandom generates random valid traces and round-trips.
+func TestCodecRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		var evs []Event
+		day := int32(0)
+		var nodes int32
+		for i := 0; i < 200; i++ {
+			if rng.Intn(4) == 0 {
+				day += int32(rng.Intn(3))
+			}
+			if nodes < 2 || rng.Intn(3) == 0 {
+				evs = append(evs, Event{Kind: AddNode, Day: day, U: nodes, Origin: Origin(rng.Intn(3))})
+				nodes++
+			} else {
+				u := int32(rng.Intn(int(nodes)))
+				v := int32(rng.Intn(int(nodes)))
+				if u == v {
+					continue
+				}
+				evs = append(evs, Event{Kind: AddEdge, Day: day, U: u, V: v})
+			}
+		}
+		tr := &Trace{Events: evs, Meta: Summarize(evs)}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Meta != tr.Meta || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range got.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import "repro/internal/graph"
+
+// State is the incrementally maintained view of the network that replay
+// builds: the live graph plus the per-node birthday and origin columns that
+// the node- and merge-level analyses need.
+type State struct {
+	Graph   *graph.Graph
+	JoinDay []int32  // day each node was created
+	Origin  []Origin // origin network of each node
+	Day     int32    // current day being replayed
+}
+
+// NewState returns an empty state with capacity hints.
+func NewState(nodeHint, edgeHint int) *State {
+	return &State{Graph: graph.New(nodeHint), JoinDay: make([]int32, 0, nodeHint), Origin: make([]Origin, 0, nodeHint)}
+}
+
+// Apply folds one event into the state. Invalid edge events (self loops,
+// duplicates) are reported via the returned error; callers replaying a
+// Validate()-clean trace can ignore it.
+func (s *State) Apply(ev Event) error {
+	s.Day = ev.Day
+	switch ev.Kind {
+	case AddNode:
+		s.Graph.EnsureNode(ev.U)
+		for int32(len(s.JoinDay)) <= int32(ev.U) {
+			s.JoinDay = append(s.JoinDay, ev.Day)
+			s.Origin = append(s.Origin, ev.Origin)
+		}
+		s.JoinDay[ev.U] = ev.Day
+		s.Origin[ev.U] = ev.Origin
+		return nil
+	case AddEdge:
+		return s.Graph.AddEdge(ev.U, ev.V)
+	}
+	return nil
+}
+
+// NodeAge returns the age in days of node u at day 'day' (0 on its join day).
+func (s *State) NodeAge(u graph.NodeID, day int32) int32 {
+	return day - s.JoinDay[u]
+}
+
+// Hooks configures a Replay run. Any field may be nil.
+type Hooks struct {
+	// OnEvent fires for every event after it is applied to the state.
+	OnEvent func(st *State, ev Event)
+	// OnDayEnd fires once per day boundary, after the last event of that
+	// day has been applied, with the day that just finished. Days with no
+	// events still fire, in order, so periodic metrics stay on schedule.
+	OnDayEnd func(st *State, day int32)
+}
+
+// Replay streams events through a fresh State, firing hooks, and returns the
+// final state. The trace must be Validate()-clean; replay stops at the first
+// application error otherwise.
+func Replay(events []Event, hooks Hooks) (*State, error) {
+	st := NewState(1024, 4096)
+	if err := ReplayInto(st, events, hooks); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// ReplayInto is Replay over a caller-provided state, allowing resumed or
+// segmented replays.
+func ReplayInto(st *State, events []Event, hooks Hooks) error {
+	day := st.Day
+	for _, ev := range events {
+		for day < ev.Day {
+			if hooks.OnDayEnd != nil {
+				hooks.OnDayEnd(st, day)
+			}
+			day++
+		}
+		if err := st.Apply(ev); err != nil {
+			return err
+		}
+		if hooks.OnEvent != nil {
+			hooks.OnEvent(st, ev)
+		}
+	}
+	if hooks.OnDayEnd != nil && len(events) > 0 {
+		hooks.OnDayEnd(st, day)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestReplayBuildsState(t *testing.T) {
+	st, err := Replay(tinyTrace(), Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph.NumNodes() != 3 || st.Graph.NumEdges() != 3 {
+		t.Fatalf("n=%d e=%d", st.Graph.NumNodes(), st.Graph.NumEdges())
+	}
+	if st.JoinDay[0] != 0 || st.JoinDay[2] != 1 {
+		t.Fatalf("join days %v", st.JoinDay)
+	}
+	if st.Origin[2] != OriginFiveQ {
+		t.Fatalf("origin[2] = %v", st.Origin[2])
+	}
+	if st.NodeAge(2, 5) != 4 {
+		t.Fatalf("NodeAge = %d", st.NodeAge(2, 5))
+	}
+}
+
+func TestReplayDayBoundaries(t *testing.T) {
+	var days []int32
+	var edgeCountAtDay []int64
+	_, err := Replay(tinyTrace(), Hooks{
+		OnDayEnd: func(st *State, day int32) {
+			days = append(days, day)
+			edgeCountAtDay = append(edgeCountAtDay, st.Graph.NumEdges())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events span days 0..3; boundaries must fire for 0,1,2,3 exactly once.
+	want := []int32{0, 1, 2, 3}
+	if len(days) != len(want) {
+		t.Fatalf("days = %v", days)
+	}
+	for i := range want {
+		if days[i] != want[i] {
+			t.Fatalf("days = %v, want %v", days, want)
+		}
+	}
+	// Day 0 ends with 1 edge, day 1 and the empty day 2 with 2, day 3 with 3.
+	wantEdges := []int64{1, 2, 2, 3}
+	for i := range wantEdges {
+		if edgeCountAtDay[i] != wantEdges[i] {
+			t.Fatalf("edges at day ends = %v, want %v", edgeCountAtDay, wantEdges)
+		}
+	}
+}
+
+func TestReplayOnEvent(t *testing.T) {
+	var kinds []Kind
+	_, err := Replay(tinyTrace(), Hooks{
+		OnEvent: func(st *State, ev Event) { kinds = append(kinds, ev.Kind) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 6 {
+		t.Fatalf("saw %d events", len(kinds))
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	fired := false
+	st, err := Replay(nil, Hooks{OnDayEnd: func(*State, int32) { fired = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("no day hooks for empty trace")
+	}
+	if st.Graph.NumNodes() != 0 {
+		t.Fatal("state must be empty")
+	}
+}
+
+func TestReplayStopsOnBadEdge(t *testing.T) {
+	bad := []Event{
+		{Kind: AddNode, Day: 0, U: 0},
+		{Kind: AddEdge, Day: 0, U: 0, V: 0},
+	}
+	if _, err := Replay(bad, Hooks{}); err == nil {
+		t.Fatal("want error on self-loop application")
+	}
+}
+
+func TestReplayIntoSegmented(t *testing.T) {
+	evs := tinyTrace()
+	st := NewState(0, 0)
+	if err := ReplayInto(st, evs[:3], Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayInto(st, evs[3:], Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph.NumEdges() != 3 || st.Graph.NumNodes() != 3 {
+		t.Fatalf("segmented replay wrong: n=%d e=%d", st.Graph.NumNodes(), st.Graph.NumEdges())
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace defines the timestamped event-stream schema that stands in
+// for the paper's anonymized Renren dataset: a sequence of node-creation and
+// edge-creation events, each stamped with an absolute day and, for nodes, an
+// origin network tag (Xiaonei, 5Q, or post-merge Renren).
+//
+// Every analysis in this repository consumes only this stream, so the code
+// would run unchanged on the real data. The package also provides a compact
+// binary codec and a replay driver that fires day-boundary callbacks, which
+// is how the 771 "daily snapshots" of the paper are realized without
+// materializing 771 graphs.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Origin identifies which network a node was born in (§5 of the paper).
+type Origin uint8
+
+const (
+	// OriginXiaonei marks nodes created in the original Xiaonei network.
+	OriginXiaonei Origin = iota
+	// OriginFiveQ marks nodes created in the competing 5Q network.
+	OriginFiveQ
+	// OriginNew marks nodes that joined after the network merge.
+	OriginNew
+)
+
+// String returns the origin's name.
+func (o Origin) String() string {
+	switch o {
+	case OriginXiaonei:
+		return "xiaonei"
+	case OriginFiveQ:
+		return "5q"
+	case OriginNew:
+		return "new"
+	default:
+		return fmt.Sprintf("origin(%d)", uint8(o))
+	}
+}
+
+// Kind discriminates event types.
+type Kind uint8
+
+const (
+	// AddNode creates node U on day Day with origin Origin.
+	AddNode Kind = iota
+	// AddEdge creates the undirected friendship edge {U, V} on day Day.
+	AddEdge
+)
+
+// Event is one timestamped creation event.
+type Event struct {
+	Kind   Kind
+	Day    int32        // absolute day; day 0 is the network's first day
+	U, V   graph.NodeID // U for AddNode; {U, V} for AddEdge
+	Origin Origin       // meaningful for AddNode only
+}
+
+// Meta summarizes a trace; it is stored in the file header and recomputable
+// from the events via Summarize.
+type Meta struct {
+	Days     int32 `json:"days"`      // number of days covered (last day + 1)
+	MergeDay int32 `json:"merge_day"` // day of the network merge, -1 if none
+	Nodes    int64 `json:"nodes"`
+	Edges    int64 `json:"edges"`
+	Xiaonei  int64 `json:"xiaonei_nodes"`
+	FiveQ    int64 `json:"fiveq_nodes"`
+	NewUsers int64 `json:"new_nodes"`
+	Seed     int64 `json:"seed"` // generator seed, 0 if unknown
+}
+
+// Trace is a full event stream plus its metadata.
+type Trace struct {
+	Meta   Meta
+	Events []Event
+}
+
+// Summarize recomputes Meta counters (except MergeDay and Seed, which are
+// generator knowledge) from the events.
+func Summarize(events []Event) Meta {
+	var m Meta
+	m.MergeDay = -1
+	for _, ev := range events {
+		if ev.Day+1 > m.Days {
+			m.Days = ev.Day + 1
+		}
+		switch ev.Kind {
+		case AddNode:
+			m.Nodes++
+			switch ev.Origin {
+			case OriginXiaonei:
+				m.Xiaonei++
+			case OriginFiveQ:
+				m.FiveQ++
+			case OriginNew:
+				m.NewUsers++
+			}
+		case AddEdge:
+			m.Edges++
+		}
+	}
+	return m
+}
+
+// Validation errors.
+var (
+	ErrNonMonotoneDay = errors.New("trace: event days not non-decreasing")
+	ErrUnknownNode    = errors.New("trace: edge references unknown node")
+	ErrDuplicateNode  = errors.New("trace: node created twice")
+	ErrNonDenseNode   = errors.New("trace: node ids not dense arrival order")
+	ErrSelfLoop       = errors.New("trace: self-loop edge")
+	ErrDuplicateEdge  = errors.New("trace: duplicate edge")
+)
+
+// Validate checks the structural invariants every well-formed trace obeys:
+// non-decreasing days, dense node ids assigned in arrival order, edges only
+// between existing distinct nodes, and no duplicate edges.
+func Validate(events []Event) error {
+	var nextNode graph.NodeID
+	day := int32(0)
+	g := graph.New(1024)
+	for i, ev := range events {
+		if ev.Day < day {
+			return fmt.Errorf("%w: event %d day %d after day %d", ErrNonMonotoneDay, i, ev.Day, day)
+		}
+		day = ev.Day
+		switch ev.Kind {
+		case AddNode:
+			if ev.U < nextNode {
+				return fmt.Errorf("%w: event %d node %d", ErrDuplicateNode, i, ev.U)
+			}
+			if ev.U > nextNode {
+				return fmt.Errorf("%w: event %d node %d, expected %d", ErrNonDenseNode, i, ev.U, nextNode)
+			}
+			nextNode++
+			g.EnsureNode(ev.U)
+		case AddEdge:
+			if ev.U == ev.V {
+				return fmt.Errorf("%w: event %d node %d", ErrSelfLoop, i, ev.U)
+			}
+			if ev.U >= nextNode || ev.V >= nextNode || ev.U < 0 || ev.V < 0 {
+				return fmt.Errorf("%w: event %d edge {%d,%d}", ErrUnknownNode, i, ev.U, ev.V)
+			}
+			switch err := g.AddEdge(ev.U, ev.V); err {
+			case nil:
+			case graph.ErrDuplicateEdge:
+				return fmt.Errorf("%w: event %d edge {%d,%d}", ErrDuplicateEdge, i, ev.U, ev.V)
+			default:
+				return err
+			}
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}

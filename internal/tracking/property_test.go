@@ -1,0 +1,128 @@
+package tracking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// randomSnapshots drives a tracker with random (but internally consistent)
+// snapshot assignments and returns it plus the last snapshot result.
+func randomSnapshots(seed int64, snapshots int) (*Tracker, *SnapshotResult) {
+	rng := stats.NewRand(seed)
+	tr := NewTracker(3)
+	n := 30 + rng.Intn(40)
+	g := graph.New(n)
+	g.EnsureNode(graph.NodeID(n - 1))
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	var last *SnapshotResult
+	assign := make(Assignment, n)
+	k := 2 + rng.Intn(5)
+	for i := range assign {
+		assign[i] = int32(rng.Intn(k))
+	}
+	for s := 0; s < snapshots; s++ {
+		// Perturb a few labels each snapshot.
+		for j := 0; j < n/10+1; j++ {
+			assign[rng.Intn(n)] = int32(rng.Intn(k))
+		}
+		last = tr.Advance(int32(s*3), g, assign)
+	}
+	return tr, last
+}
+
+// TestTrackedCommunitiesAreDisjoint: a node belongs to at most one tracked
+// community per snapshot.
+func TestTrackedCommunitiesAreDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		_, snap := randomSnapshots(seed, 5)
+		seen := map[graph.NodeID]bool{}
+		for _, nodes := range snap.Communities {
+			for _, u := range nodes {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoriesConsistent: dead communities have death >= birth; alive ones
+// report non-negative lifetimes; merged ones name a destination.
+func TestHistoriesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, _ := randomSnapshots(seed, 8)
+		for _, h := range tr.Histories() {
+			if h.Death >= 0 && h.Death < h.Birth {
+				return false
+			}
+			if h.Lifetime(tr.LastDay()) < 0 {
+				return false
+			}
+			if h.MergedInto != 0 && h.Death < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventsReferenceRealIDs: every event's community id has a history.
+func TestEventsReferenceRealIDs(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, _ := randomSnapshots(seed, 8)
+		hist := tr.Histories()
+		for _, ev := range tr.Events() {
+			if hist[ev.ID] == nil {
+				return false
+			}
+			if ev.Type == Merge && hist[ev.Other] == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimilarityWithinUnit: matched similarities always lie in (0, 1].
+func TestSimilarityWithinUnit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		tr := NewTracker(3)
+		n := 30
+		g := graph.New(n)
+		g.EnsureNode(graph.NodeID(n - 1))
+		for i := 0; i < 60; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		assign := make(Assignment, n)
+		for i := range assign {
+			assign[i] = int32(i % 4)
+		}
+		for s := 0; s < 5; s++ {
+			res := tr.Advance(int32(s), g, assign)
+			if res.AvgSimilarity < 0 || res.AvgSimilarity > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

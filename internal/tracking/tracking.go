@@ -1,0 +1,513 @@
+// Package tracking follows communities across graph snapshots the way the
+// paper does in §4.1: communities detected on consecutive snapshots are
+// matched by Jaccard similarity, and the matching is interpreted as
+// continuation, birth, death, merge, or split events.
+//
+// The paper's definitions, which this package implements literally:
+//
+//   - a community A *splits* at snapshot i when A is the highest-correlated
+//     previous community for at least two communities at snapshot i+1; the
+//     successor most similar to A keeps A's identity, the others are born;
+//   - at least two communities A, B *merge* into C when C is the best match
+//     of each; C takes the identity of the most similar parent, the other
+//     parents die;
+//   - communities matched one-to-one continue under the same identity.
+//
+// The tracker also records, per snapshot, the structural features used by
+// the paper's merge predictor (§4.3) and the inter-community tie strengths
+// used for the strongest-tie merge-destination analysis (Fig 6c).
+package tracking
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EventType classifies a community lifecycle event.
+type EventType uint8
+
+const (
+	// Birth: a community with no sufficiently similar predecessor.
+	Birth EventType = iota
+	// Death: a community absorbed by a merge (its identity ends).
+	Death
+	// Merge: two or more communities fused; emitted once per dying parent.
+	Merge
+	// Split: one community divided; emitted once per split parent.
+	Split
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case Birth:
+		return "birth"
+	case Death:
+		return "death"
+	case Merge:
+		return "merge"
+	case Split:
+		return "split"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one community lifecycle event.
+type Event struct {
+	Day  int32
+	Type EventType
+	// ID is the community the event happened to. For Merge it is the
+	// dying parent; for Split the splitting parent; for Birth the new
+	// community.
+	ID int64
+	// Other is the counterparty: the surviving community for Merge, zero
+	// otherwise.
+	Other int64
+	// Similarity is the Jaccard similarity that drove the decision.
+	Similarity float64
+	// SizeA and SizeB record, for Merge and Split, the sizes of the two
+	// largest communities involved (used for Fig 6a): for merges, the
+	// dying and surviving parents; for splits, the two largest children.
+	SizeA, SizeB int
+	// StrongestTie reports, for Merge events, whether the surviving
+	// community was the one with the largest edge count to the dying
+	// community in the previous snapshot (Fig 6c).
+	StrongestTie bool
+	// StrongestTieWith is the community that actually had the strongest
+	// tie to the dying one (diagnostic; 0 when it had no ties).
+	StrongestTieWith int64
+}
+
+// Features is the per-snapshot structural description of a community used
+// by the merge predictor (§4.3): size, in-degree ratio (edges inside the
+// community over the total degree of its members), and self-similarity to
+// the community's previous incarnation.
+type Features struct {
+	Day     int32
+	Size    int
+	InRatio float64
+	SelfSim float64
+}
+
+// History is the lifetime record of one tracked community identity.
+type History struct {
+	ID    int64
+	Birth int32 // day first seen
+	Death int32 // day absorbed; -1 while alive
+	// MergedInto is the surviving community for dead ones, 0 otherwise.
+	MergedInto int64
+	// Features has one entry per snapshot in which the community existed.
+	Features []Features
+}
+
+// Alive reports whether the community was still tracked at the last
+// processed snapshot.
+func (h *History) Alive() bool { return h.Death < 0 }
+
+// Lifetime returns the community's lifetime in days: death (or `now` for
+// the living) minus birth.
+func (h *History) Lifetime(now int32) int32 {
+	if h.Death >= 0 {
+		return h.Death - h.Birth
+	}
+	return now - h.Birth
+}
+
+// community is one tracked community instance in the current snapshot.
+type community struct {
+	id    int64
+	nodes []graph.NodeID
+	set   map[graph.NodeID]struct{}
+}
+
+// Tracker matches communities across snapshots and accumulates events,
+// histories, and tie information.
+type Tracker struct {
+	// MinSize filters out communities smaller than this (the paper uses
+	// 10 to "avoid small cliques").
+	MinSize int
+	// MergeContainment is the minimum fraction of a dying community's
+	// nodes that must land in the destination (the community receiving
+	// the most of its members) for the event to count as a merge rather
+	// than a dissolution. The default 0 mirrors the paper, which treats
+	// merging as the only cause of community death: any vanishing
+	// community with surviving members is merged into its destination.
+	// Raise it (e.g. to 0.5) for a strict "contributed most of their
+	// nodes" reading — the ablation bench compares both.
+	MergeContainment float64
+
+	nextID  int64
+	prev    []*community
+	prevTie map[int64]map[int64]int64 // prev snapshot's inter-community edge counts
+	selfSim map[int64]float64         // current snapshot's matched similarity per id
+	events  []Event
+	hist    map[int64]*History
+	lastDay int32
+}
+
+// NewTracker creates a tracker with the given minimum community size.
+func NewTracker(minSize int) *Tracker {
+	if minSize < 1 {
+		minSize = 1
+	}
+	return &Tracker{MinSize: minSize, hist: make(map[int64]*History), lastDay: -1}
+}
+
+// Assignment is a per-node community labeling, -1 for unassigned nodes.
+// Labels must be dense enough to group by; they carry no cross-snapshot
+// meaning (identity comes from the tracker).
+type Assignment []int32
+
+// SnapshotResult reports the tracked communities of one snapshot.
+type SnapshotResult struct {
+	Day int32
+	// Communities maps tracked identity -> member nodes.
+	Communities map[int64][]graph.NodeID
+	// AvgSimilarity is the mean Jaccard similarity between matched
+	// community incarnations in the previous and current snapshot
+	// (the robustness metric of Fig 4b). Zero when nothing matched.
+	AvgSimilarity float64
+	// NodeCommunity maps node -> tracked identity (only community nodes).
+	NodeCommunity map[graph.NodeID]int64
+}
+
+// Advance feeds the tracker the next snapshot: the graph as of `day` and a
+// community assignment for its nodes. It returns the tracked view.
+func (t *Tracker) Advance(day int32, g *graph.Graph, assign Assignment) *SnapshotResult {
+	t.lastDay = day
+	// Group nodes by label, filtering small communities.
+	byLabel := map[int32][]graph.NodeID{}
+	for u, c := range assign {
+		if c >= 0 {
+			byLabel[c] = append(byLabel[c], graph.NodeID(u))
+		}
+	}
+	var cur []*community
+	for _, nodes := range byLabel {
+		if len(nodes) < t.MinSize {
+			continue
+		}
+		set := make(map[graph.NodeID]struct{}, len(nodes))
+		for _, u := range nodes {
+			set[u] = struct{}{}
+		}
+		cur = append(cur, &community{nodes: nodes, set: set})
+	}
+	// Deterministic order (labels iterate randomly out of the map).
+	sort.Slice(cur, func(i, j int) bool { return cur[i].nodes[0] < cur[j].nodes[0] })
+
+	simSum, simCount := t.match(day, cur)
+
+	// Record features and build result.
+	res := &SnapshotResult{
+		Day:           day,
+		Communities:   make(map[int64][]graph.NodeID, len(cur)),
+		NodeCommunity: make(map[graph.NodeID]int64),
+	}
+	if simCount > 0 {
+		res.AvgSimilarity = simSum / float64(simCount)
+	}
+	nodeComm := make(map[graph.NodeID]int64, g.NumNodes()/2)
+	for _, c := range cur {
+		res.Communities[c.id] = c.nodes
+		for _, u := range c.nodes {
+			nodeComm[u] = c.id
+			res.NodeCommunity[u] = c.id
+		}
+	}
+	t.recordFeatures(day, g, cur, nodeComm)
+	t.prevTie = interCommunityTies(g, nodeComm)
+	t.prev = cur
+	return res
+}
+
+// match assigns identities to cur communities and emits events. It returns
+// the sum and count of matched similarities.
+func (t *Tracker) match(day int32, cur []*community) (simSum float64, simCount int) {
+	t.selfSim = make(map[int64]float64, len(cur))
+	if t.prev == nil {
+		for _, c := range cur {
+			c.id = t.newID(day)
+		}
+		return 0, 0
+	}
+	// Inverted index: node -> previous community index.
+	prevOf := map[graph.NodeID]int{}
+	for i, p := range t.prev {
+		for _, u := range p.nodes {
+			prevOf[u] = i
+		}
+	}
+	// Overlaps between prev i and cur j. Iteration over pairs is sorted so
+	// that equal-similarity ties break deterministically (lowest index).
+	type pair struct{ i, j int }
+	overlap := map[pair]int{}
+	for j, c := range cur {
+		for _, u := range c.nodes {
+			if i, ok := prevOf[u]; ok {
+				overlap[pair{i, j}]++
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(overlap))
+	for p := range overlap {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	sim := func(i, j int) float64 {
+		inter := overlap[pair{i, j}]
+		union := len(t.prev[i].nodes) + len(cur[j].nodes) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	// containment(i, j) is the fraction of prev community i's nodes that
+	// ended up in cur community j. The paper's merge definition requires
+	// parents to "contribute most of their nodes" to the destination;
+	// below the threshold a vanishing community dissolved, not merged.
+	containment := func(i, j int) float64 {
+		return float64(overlap[pair{i, j}]) / float64(len(t.prev[i].nodes))
+	}
+	// Best matches in both directions.
+	bestNewFor := make([]int, len(t.prev)) // prev i -> cur j (or -1)
+	bestNewSim := make([]float64, len(t.prev))
+	for i := range bestNewFor {
+		bestNewFor[i] = -1
+	}
+	bestOldFor := make([]int, len(cur)) // cur j -> prev i (or -1)
+	bestOldSim := make([]float64, len(cur))
+	for j := range bestOldFor {
+		bestOldFor[j] = -1
+	}
+	for _, p := range pairs {
+		s := sim(p.i, p.j)
+		if s > bestNewSim[p.i] {
+			bestNewSim[p.i], bestNewFor[p.i] = s, p.j
+		}
+		if s > bestOldSim[p.j] {
+			bestOldSim[p.j], bestOldFor[p.j] = s, p.i
+		}
+	}
+
+	// Identity assignment: claimants per cur community are the prev
+	// communities whose best (Jaccard) match is j; the most similar
+	// claimant carries its identity forward.
+	claimants := make([][]int, len(cur))
+	for i, j := range bestNewFor {
+		if j >= 0 {
+			claimants[j] = append(claimants[j], i)
+		}
+	}
+	survivedAs := make([]int, len(t.prev)) // prev i -> cur j whose id it carries, or -1
+	for i := range survivedAs {
+		survivedAs[i] = -1
+	}
+	for j, c := range cur {
+		cl := claimants[j]
+		if len(cl) == 0 {
+			c.id = t.newID(day)
+			t.events = append(t.events, Event{Day: day, Type: Birth, ID: c.id})
+			continue
+		}
+		winner := cl[0]
+		for _, i := range cl[1:] {
+			if sim(i, j) > sim(winner, j) {
+				winner = i
+			}
+		}
+		c.id = t.prev[winner].id
+		survivedAs[winner] = j
+		t.selfSim[c.id] = sim(winner, j)
+		simSum += sim(winner, j)
+		simCount++
+	}
+
+	// Merge/death classification for prev communities whose identity
+	// ended. The paper defines merging by node contribution: a community
+	// merged into the cur community that received most of its nodes.
+	// majority[j] lists prev communities contributing a majority to j
+	// (the union that "became" j) — used for sizes and the strongest-tie
+	// check of Fig 6c.
+	majority := make([][]int, len(cur))
+	bestDest := make([]int, len(t.prev)) // prev i -> argmax_j overlap, or -1
+	for i := range bestDest {
+		bestDest[i] = -1
+	}
+	bestOv := make([]int, len(t.prev))
+	for _, p := range pairs {
+		if ov := overlap[p]; ov > bestOv[p.i] {
+			bestOv[p.i], bestDest[p.i] = ov, p.j
+		}
+	}
+	for i := range t.prev {
+		if j := bestDest[i]; j >= 0 && containment(i, j) > t.mergeContainment() {
+			majority[j] = append(majority[j], i)
+		}
+	}
+	for i, p := range t.prev {
+		if survivedAs[i] >= 0 {
+			continue
+		}
+		j := bestDest[i]
+		if j < 0 || containment(i, j) <= t.mergeContainment() {
+			// Dissolved: members scattered. Similarity records the best
+			// containment for diagnostics.
+			c := 0.0
+			if j >= 0 {
+				c = containment(i, j)
+			}
+			t.events = append(t.events, Event{Day: day, Type: Death, ID: p.id, Similarity: c})
+			if h := t.hist[p.id]; h != nil {
+				h.Death = day
+			}
+			continue
+		}
+		// Merged into cur[j]. The union it merged with is every other
+		// majority contributor to j plus j's identity carrier.
+		unionIDs := map[int64]bool{cur[j].id: true}
+		sizeB := 0
+		for _, k := range majority[j] {
+			unionIDs[t.prev[k].id] = true
+			if k != i && len(t.prev[k].nodes) > sizeB {
+				sizeB = len(t.prev[k].nodes)
+			}
+		}
+		if sizeB == 0 {
+			sizeB = len(cur[j].nodes)
+		}
+		tieComm := t.strongestTieOf(p.id)
+		t.events = append(t.events, Event{
+			Day:              day,
+			Type:             Merge,
+			ID:               p.id,
+			Other:            cur[j].id,
+			Similarity:       sim(i, j),
+			SizeA:            len(p.nodes),
+			SizeB:            sizeB,
+			StrongestTie:     tieComm != 0 && unionIDs[tieComm],
+			StrongestTieWith: tieComm,
+		})
+		if h := t.hist[p.id]; h != nil {
+			h.Death = day
+			h.MergedInto = cur[j].id
+		}
+	}
+
+	// Split detection: prev community that is best-old for >= 2 cur comms.
+	successors := make([][]int, len(t.prev))
+	for j, i := range bestOldFor {
+		if i >= 0 {
+			successors[i] = append(successors[i], j)
+		}
+	}
+	for i, succ := range successors {
+		if len(succ) < 2 {
+			continue
+		}
+		// Two largest children (Fig 6a uses the largest two).
+		sort.Slice(succ, func(a, b int) bool {
+			return len(cur[succ[a]].nodes) > len(cur[succ[b]].nodes)
+		})
+		t.events = append(t.events, Event{
+			Day:        day,
+			Type:       Split,
+			ID:         t.prev[i].id,
+			Similarity: bestNewSim[i],
+			SizeA:      len(cur[succ[0]].nodes),
+			SizeB:      len(cur[succ[1]].nodes),
+		})
+	}
+
+	return simSum, simCount
+}
+
+func (t *Tracker) newID(day int32) int64 {
+	t.nextID++
+	id := t.nextID
+	t.hist[id] = &History{ID: id, Birth: day, Death: -1}
+	return id
+}
+
+// strongestTieOf returns the community with the most edges to `id` in the
+// previous snapshot, or 0 when id had no inter-community edges.
+func (t *Tracker) strongestTieOf(id int64) int64 {
+	ties := t.prevTie[id]
+	var bestComm int64
+	var best int64 = -1
+	for c, n := range ties {
+		if n > best || (n == best && c < bestComm) {
+			best, bestComm = n, c
+		}
+	}
+	return bestComm
+}
+
+// recordFeatures appends this snapshot's Features for every live community.
+func (t *Tracker) recordFeatures(day int32, g *graph.Graph, cur []*community, nodeComm map[graph.NodeID]int64) {
+	for _, c := range cur {
+		h := t.hist[c.id]
+		if h == nil {
+			h = &History{ID: c.id, Birth: day, Death: -1}
+			t.hist[c.id] = h
+		}
+		h.Death = -1 // it exists now; resurrect if it was marked dead this day
+		intra := int64(0)
+		degSum := int64(0)
+		for _, u := range c.nodes {
+			degSum += int64(g.Degree(u))
+			for _, v := range g.Neighbors(u) {
+				if nodeComm[v] == c.id {
+					intra++
+				}
+			}
+		}
+		inRatio := 0.0
+		if degSum > 0 {
+			inRatio = float64(intra) / float64(degSum) // intra counted twice / degsum
+		}
+		h.Features = append(h.Features, Features{Day: day, Size: len(c.nodes), InRatio: inRatio, SelfSim: t.selfSim[c.id]})
+	}
+}
+
+// interCommunityTies counts edges between tracked communities.
+func interCommunityTies(g *graph.Graph, nodeComm map[graph.NodeID]int64) map[int64]map[int64]int64 {
+	out := map[int64]map[int64]int64{}
+	g.ForEachEdge(func(u, v graph.NodeID) {
+		cu, okU := nodeComm[u]
+		cv, okV := nodeComm[v]
+		if !okU || !okV || cu == cv {
+			return
+		}
+		add := func(a, b int64) {
+			m := out[a]
+			if m == nil {
+				m = map[int64]int64{}
+				out[a] = m
+			}
+			m[b]++
+		}
+		add(cu, cv)
+		add(cv, cu)
+	})
+	return out
+}
+
+// Events returns all lifecycle events recorded so far.
+func (t *Tracker) Events() []Event { return t.events }
+
+// Histories returns the per-identity lifetime records.
+func (t *Tracker) Histories() map[int64]*History { return t.hist }
+
+// LastDay returns the most recent snapshot day processed, -1 if none.
+func (t *Tracker) LastDay() int32 { return t.lastDay }
+
+// mergeContainment returns the configured containment threshold.
+func (t *Tracker) mergeContainment() float64 { return t.MergeContainment }

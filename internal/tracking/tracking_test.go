@@ -1,0 +1,327 @@
+package tracking
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// assignOf builds an Assignment of length n with the given labeled groups;
+// unlisted nodes get -1.
+func assignOf(n int, groups ...[]graph.NodeID) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	for label, grp := range groups {
+		for _, u := range grp {
+			a[u] = int32(label)
+		}
+	}
+	return a
+}
+
+// cliqueGraph builds a graph where each listed group is a clique.
+func cliqueGraph(n int, groups ...[]graph.NodeID) *graph.Graph {
+	g := graph.New(n)
+	g.EnsureNode(graph.NodeID(n - 1))
+	for _, grp := range groups {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				g.AddEdge(grp[i], grp[j])
+			}
+		}
+	}
+	return g
+}
+
+func ids(r *SnapshotResult) []int64 {
+	var out []int64
+	for id := range r.Communities {
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestFirstSnapshotBirthsNoEvents(t *testing.T) {
+	tr := NewTracker(2)
+	grp := []graph.NodeID{0, 1, 2}
+	g := cliqueGraph(3, grp)
+	r := tr.Advance(0, g, assignOf(3, grp))
+	if len(r.Communities) != 1 {
+		t.Fatalf("communities = %d", len(r.Communities))
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatalf("first snapshot must emit no events, got %v", tr.Events())
+	}
+	if r.AvgSimilarity != 0 {
+		t.Fatalf("avg sim = %v", r.AvgSimilarity)
+	}
+}
+
+func TestMinSizeFilter(t *testing.T) {
+	tr := NewTracker(5)
+	grp := []graph.NodeID{0, 1, 2}
+	g := cliqueGraph(3, grp)
+	r := tr.Advance(0, g, assignOf(3, grp))
+	if len(r.Communities) != 0 {
+		t.Fatal("small community must be filtered")
+	}
+}
+
+func TestContinuationKeepsIdentity(t *testing.T) {
+	tr := NewTracker(2)
+	grp := []graph.NodeID{0, 1, 2, 3}
+	g := cliqueGraph(5, grp)
+	r1 := tr.Advance(0, g, assignOf(5, grp))
+	id := ids(r1)[0]
+	// Next snapshot: same community plus node 4.
+	grp2 := []graph.NodeID{0, 1, 2, 3, 4}
+	g2 := cliqueGraph(5, grp2)
+	r2 := tr.Advance(3, g2, assignOf(5, grp2))
+	if len(r2.Communities) != 1 {
+		t.Fatalf("communities = %d", len(r2.Communities))
+	}
+	if ids(r2)[0] != id {
+		t.Fatalf("identity changed: %d -> %d", id, ids(r2)[0])
+	}
+	if r2.AvgSimilarity < 0.7 {
+		t.Fatalf("avg sim = %v, want 4/5", r2.AvgSimilarity)
+	}
+}
+
+func TestBirthEvent(t *testing.T) {
+	tr := NewTracker(2)
+	a := []graph.NodeID{0, 1, 2}
+	g := cliqueGraph(8, a)
+	tr.Advance(0, g, assignOf(8, a))
+	// New disjoint community appears.
+	b := []graph.NodeID{4, 5, 6}
+	g2 := cliqueGraph(8, a, b)
+	r := tr.Advance(3, g2, assignOf(8, a, b))
+	if len(r.Communities) != 2 {
+		t.Fatalf("communities = %d", len(r.Communities))
+	}
+	var births int
+	for _, ev := range tr.Events() {
+		if ev.Type == Birth {
+			births++
+			if ev.Day != 3 {
+				t.Fatalf("birth day = %d", ev.Day)
+			}
+		}
+	}
+	if births != 1 {
+		t.Fatalf("births = %d", births)
+	}
+}
+
+func TestMergeEvent(t *testing.T) {
+	tr := NewTracker(2)
+	a := []graph.NodeID{0, 1, 2, 3, 4, 5}
+	b := []graph.NodeID{6, 7, 8}
+	g := cliqueGraph(9, a, b)
+	// Tie edges: b touches a via 2 edges so a is b's strongest tie.
+	g.AddEdge(5, 6)
+	g.AddEdge(4, 7)
+	r1 := tr.Advance(0, g, assignOf(9, a, b))
+	if len(r1.Communities) != 2 {
+		t.Fatalf("start communities = %d", len(r1.Communities))
+	}
+	var idA, idB int64
+	for id, nodes := range r1.Communities {
+		if len(nodes) == 6 {
+			idA = id
+		} else {
+			idB = id
+		}
+	}
+	// Merge: all 9 nodes in one community.
+	all := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	g2 := cliqueGraph(9, all)
+	r2 := tr.Advance(3, g2, assignOf(9, all))
+	if len(r2.Communities) != 1 {
+		t.Fatalf("end communities = %d", len(r2.Communities))
+	}
+	if ids(r2)[0] != idA {
+		t.Fatalf("merged identity %d, want big community %d", ids(r2)[0], idA)
+	}
+	var merges int
+	for _, ev := range tr.Events() {
+		if ev.Type == Merge {
+			merges++
+			if ev.ID != idB || ev.Other != idA {
+				t.Fatalf("merge %d -> %d, want %d -> %d", ev.ID, ev.Other, idB, idA)
+			}
+			if ev.SizeA != 3 || ev.SizeB != 6 {
+				t.Fatalf("merge sizes %d,%d", ev.SizeA, ev.SizeB)
+			}
+			if !ev.StrongestTie {
+				t.Fatal("merge should be with strongest-tie community")
+			}
+		}
+	}
+	if merges != 1 {
+		t.Fatalf("merges = %d", merges)
+	}
+	// History: idB dead, merged into idA.
+	h := tr.Histories()[idB]
+	if h == nil || h.Alive() || h.MergedInto != idA || h.Death != 3 {
+		t.Fatalf("history = %+v", h)
+	}
+	if got := h.Lifetime(99); got != 3 {
+		t.Fatalf("lifetime = %d", got)
+	}
+}
+
+func TestSplitEvent(t *testing.T) {
+	tr := NewTracker(2)
+	all := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	g := cliqueGraph(8, all)
+	r1 := tr.Advance(0, g, assignOf(8, all))
+	origID := ids(r1)[0]
+	// Split into two halves (5 and 3 nodes → identity follows higher sim).
+	a := []graph.NodeID{0, 1, 2, 3, 4}
+	b := []graph.NodeID{5, 6, 7}
+	g2 := cliqueGraph(8, a, b)
+	r2 := tr.Advance(3, g2, assignOf(8, a, b))
+	if len(r2.Communities) != 2 {
+		t.Fatalf("communities = %d", len(r2.Communities))
+	}
+	// The larger half keeps the identity.
+	if got := len(r2.Communities[origID]); got != 5 {
+		t.Fatalf("identity kept by community of size %d, want 5", got)
+	}
+	var splits, births int
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case Split:
+			splits++
+			if ev.ID != origID {
+				t.Fatalf("split id = %d", ev.ID)
+			}
+			if ev.SizeA != 5 || ev.SizeB != 3 {
+				t.Fatalf("split sizes %d,%d", ev.SizeA, ev.SizeB)
+			}
+		case Birth:
+			births++
+		}
+	}
+	if splits != 1 || births != 1 {
+		t.Fatalf("splits=%d births=%d", splits, births)
+	}
+}
+
+func TestDissolutionDeath(t *testing.T) {
+	tr := NewTracker(3)
+	a := []graph.NodeID{0, 1, 2}
+	g := cliqueGraph(6, a)
+	r1 := tr.Advance(0, g, assignOf(6, a))
+	id := ids(r1)[0]
+	// Community shrinks below MinSize → vanishes.
+	g2 := cliqueGraph(6, []graph.NodeID{0, 1})
+	r2 := tr.Advance(3, g2, assignOf(6, []graph.NodeID{0, 1}))
+	if len(r2.Communities) != 0 {
+		t.Fatalf("communities = %d", len(r2.Communities))
+	}
+	var deaths int
+	for _, ev := range tr.Events() {
+		if ev.Type == Death && ev.ID == id {
+			deaths++
+		}
+	}
+	if deaths != 1 {
+		t.Fatalf("deaths = %d", deaths)
+	}
+	if tr.Histories()[id].Alive() {
+		t.Fatal("history must be dead")
+	}
+}
+
+func TestFeaturesRecorded(t *testing.T) {
+	tr := NewTracker(2)
+	a := []graph.NodeID{0, 1, 2, 3}
+	g := cliqueGraph(6, a)
+	// One external edge so in-ratio < 1.
+	g.AddEdge(3, 4)
+	r := tr.Advance(0, g, assignOf(6, a))
+	id := ids(r)[0]
+	h := tr.Histories()[id]
+	if len(h.Features) != 1 {
+		t.Fatalf("features = %+v", h.Features)
+	}
+	f := h.Features[0]
+	if f.Size != 4 || f.Day != 0 {
+		t.Fatalf("feature = %+v", f)
+	}
+	// Clique of 4 has 6 intra edges (12 endpoint slots); degree sum = 13.
+	want := 12.0 / 13.0
+	if d := f.InRatio - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("in-ratio = %v, want %v", f.InRatio, want)
+	}
+	if f.SelfSim != 0 {
+		t.Fatalf("first snapshot self-sim = %v", f.SelfSim)
+	}
+	// Second snapshot: identical community, self-sim = 1.
+	tr.Advance(3, g, assignOf(6, a))
+	h = tr.Histories()[id]
+	if len(h.Features) != 2 || h.Features[1].SelfSim != 1 {
+		t.Fatalf("features = %+v", h.Features)
+	}
+}
+
+func TestStrongestTieNegativeCase(t *testing.T) {
+	tr := NewTracker(2)
+	a := []graph.NodeID{0, 1, 2, 3}  // big
+	b := []graph.NodeID{4, 5, 6}     // dies
+	c := []graph.NodeID{7, 8, 9, 10} // b's strongest tie — but b merges into a
+	g := cliqueGraph(11, a, b, c)
+	g.AddEdge(4, 7) // b-c ties: 2 edges
+	g.AddEdge(5, 8)
+	g.AddEdge(6, 0) // b-a tie: 1 edge
+	tr.Advance(0, g, assignOf(11, a, b, c))
+	// b merges into a (c remains).
+	ab := []graph.NodeID{0, 1, 2, 3, 4, 5, 6}
+	g2 := cliqueGraph(11, ab, c)
+	tr.Advance(3, g2, assignOf(11, ab, c))
+	var found bool
+	for _, ev := range tr.Events() {
+		if ev.Type == Merge {
+			found = true
+			if ev.StrongestTie {
+				t.Fatal("merge was NOT with the strongest-tie community")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no merge event")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	names := map[EventType]string{Birth: "birth", Death: "death", Merge: "merge", Split: "split", EventType(9): "unknown"}
+	for et, want := range names {
+		if et.String() != want {
+			t.Fatalf("%d.String() = %q", et, et.String())
+		}
+	}
+}
+
+func TestLastDay(t *testing.T) {
+	tr := NewTracker(2)
+	if tr.LastDay() != -1 {
+		t.Fatal("fresh tracker LastDay")
+	}
+	grp := []graph.NodeID{0, 1}
+	tr.Advance(7, cliqueGraph(2, grp), assignOf(2, grp))
+	if tr.LastDay() != 7 {
+		t.Fatalf("LastDay = %d", tr.LastDay())
+	}
+}
+
+func TestNewTrackerMinSizeFloor(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.MinSize != 1 {
+		t.Fatalf("MinSize = %d", tr.MinSize)
+	}
+}

@@ -1,0 +1,63 @@
+// Package repro is the public facade of the reproduction of "Multi-scale
+// Dynamics in a Massive Online Social Network" (Zhao et al., IMC 2012).
+//
+// The three calls most users need:
+//
+//	tr, _  := repro.Generate(repro.DefaultGenConfig()) // synthetic Renren+5Q trace
+//	res, _ := repro.Run(tr, repro.DefaultPipeline())   // multi-scale analysis
+//	tab, _ := res.Figure("fig3c")                      // any panel of the paper
+//
+// See DESIGN.md for the experiment index and the internal packages for the
+// full API surface: gen (trace generator), trace (event schema and codec),
+// graph/metrics/louvain/tracking/svm/powerlaw/stats (substrates), and
+// evolution/community/osnmerge/core (the paper's analyses).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// Re-exported types.
+type (
+	// Trace is a timestamped node/edge creation stream (the dataset).
+	Trace = trace.Trace
+	// Event is one creation event.
+	Event = trace.Event
+	// GenConfig configures the synthetic trace generator.
+	GenConfig = gen.Config
+	// Pipeline configures the multi-scale analysis.
+	Pipeline = core.Config
+	// Result is the full analysis output.
+	Result = core.Result
+	// Table is one figure panel's data.
+	Table = core.Table
+)
+
+// AllFigures lists every reproducible figure panel id.
+var AllFigures = core.AllFigures
+
+// DefaultGenConfig returns the scaled default Renren+5Q scenario
+// (771 days, merge on day 386, ≈10^5 nodes).
+func DefaultGenConfig() GenConfig { return gen.DefaultConfig() }
+
+// SmallGenConfig returns a quick scenario for tests and demos.
+func SmallGenConfig() GenConfig { return gen.SmallConfig() }
+
+// Generate produces a synthetic trace.
+func Generate(cfg GenConfig) (*Trace, error) { return gen.Generate(cfg) }
+
+// DefaultPipeline returns the paper's analysis parameters at scaled sizes.
+func DefaultPipeline() Pipeline { return core.DefaultConfig() }
+
+// Run executes the multi-scale pipeline over a trace.
+func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
+
+// GenerateAndRun is the one-call variant.
+func GenerateAndRun(gcfg GenConfig, cfg Pipeline) (*Trace, *Result, error) {
+	return core.GenerateAndRun(gcfg, cfg)
+}
+
+// Validate checks the structural invariants of a trace.
+func Validate(events []Event) error { return trace.Validate(events) }
