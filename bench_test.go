@@ -164,6 +164,45 @@ func BenchmarkFig9a(b *testing.B) { benchFigure(b, "fig9a", mergeRun) }
 func BenchmarkFig9b(b *testing.B) { benchFigure(b, "fig9b", mergeRun) }
 func BenchmarkFig9c(b *testing.B) { benchFigure(b, "fig9c", mergeRun) }
 
+// --- Engine vs batch: the single-pass refactor's headline comparison ---
+
+// pipelineConfig is a full multi-scale configuration (every stage plus a
+// δ-sweep) at bench scale.
+func pipelineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Alpha = evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, PolyDegree: 3}
+	cfg.Community.SizeDistDays = []int32{251}
+	cfg.DeltaSweep = []float64{0.01, 0.1}
+	cfg.PathEvery = 30
+	cfg.PathSources = 30
+	return cfg
+}
+
+// BenchmarkPipelineEngine runs the full pipeline on the streaming engine:
+// one shared replay pass for all non-sweep stages, δ-sweep and SVM
+// evaluation fanned out on the worker pool.
+func BenchmarkPipelineEngine(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(tr, pipelineConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBatch runs the same configuration through the batch
+// reference path: one independent replay (and graph rebuild) per analysis.
+func BenchmarkPipelineBatch(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunBatch(tr, pipelineConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationDestSelection quantifies the §3.2 destination-rule

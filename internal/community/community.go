@@ -7,11 +7,9 @@ package community
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/louvain"
 	"repro/internal/trace"
 	"repro/internal/tracking"
 )
@@ -88,111 +86,17 @@ type Result struct {
 var ErrNoSnapshots = errors.New("community: no snapshots taken")
 
 // Run replays the trace, detecting and tracking communities on the
-// snapshot schedule.
+// snapshot schedule. It is the batch entry point over the streaming Stage,
+// which the engine also feeds from its single shared pass.
 func Run(events []trace.Event, opt Options) (*Result, error) {
-	if opt.SnapshotEvery <= 0 {
-		opt.SnapshotEvery = 3
-	}
-	if opt.MinSize <= 0 {
-		opt.MinSize = 10
-	}
-	if opt.Delta <= 0 {
-		opt.Delta = 0.04
-	}
-
-	res := &Result{Opt: opt, SizeDists: map[int32][]int{}}
-	wantDist := map[int32]bool{}
-	for _, d := range opt.SizeDistDays {
-		wantDist[d] = true
-	}
-	tracker := tracking.NewTracker(opt.MinSize)
-	var prevComm []int32
-	var replayErr error
-
-	_, err := trace.Replay(events, trace.Hooks{
-		OnDayEnd: func(st *trace.State, day int32) {
-			if replayErr != nil {
-				return
-			}
-			if day < opt.StartDay || (day-opt.StartDay)%opt.SnapshotEvery != 0 {
-				return
-			}
-			if st.Graph.NumNodes() < opt.MinNodes {
-				return
-			}
-			// Incremental Louvain: seed with the previous snapshot's
-			// assignment; nodes that joined since get singletons.
-			init := make([]int32, st.Graph.NumNodes())
-			for i := range init {
-				if i < len(prevComm) {
-					init[i] = prevComm[i]
-				} else {
-					init[i] = -1
-				}
-			}
-			if prevComm == nil {
-				init = nil
-			}
-			lr, err := louvain.Run(st.Graph, louvain.Options{
-				Delta:     opt.Delta,
-				MaxLevels: opt.MaxLevels,
-				Seed:      opt.Seed,
-				Init:      init,
-			})
-			if err != nil {
-				replayErr = fmt.Errorf("community: louvain at day %d: %w", day, err)
-				return
-			}
-			prevComm = lr.Community
-			snap := tracker.Advance(day, st.Graph, tracking.Assignment(lr.Community))
-			res.Final = snap
-
-			stat := SnapshotStat{
-				Day:            day,
-				Nodes:          st.Graph.NumNodes(),
-				Edges:          st.Graph.NumEdges(),
-				Modularity:     lr.Modularity,
-				AvgSimilarity:  snap.AvgSimilarity,
-				NumCommunities: len(snap.Communities),
-			}
-			// Top-5 coverage and size distribution.
-			sizes := make([]int, 0, len(snap.Communities))
-			for _, nodes := range snap.Communities {
-				sizes = append(sizes, len(nodes))
-			}
-			sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
-			top5 := 0
-			for i, s := range sizes {
-				if i >= 5 {
-					break
-				}
-				top5 += s
-				if stat.Nodes > 0 {
-					stat.TopCoverage[i] = float64(s) / float64(stat.Nodes)
-				}
-			}
-			if stat.Nodes > 0 {
-				stat.Top5Coverage = float64(top5) / float64(stat.Nodes)
-			}
-			if wantDist[day] {
-				res.SizeDists[day] = sizes
-			}
-			res.Stats = append(res.Stats, stat)
-			res.LastDay = day
-		},
-	})
-	if err != nil {
+	s := NewStage(opt)
+	if _, err := trace.Replay(events, trace.Hooks{OnDayEnd: s.OnDayEnd}); err != nil {
 		return nil, err
 	}
-	if replayErr != nil {
-		return nil, replayErr
+	if err := s.Finish(nil); err != nil {
+		return nil, err
 	}
-	if len(res.Stats) == 0 {
-		return nil, ErrNoSnapshots
-	}
-	res.Events = tracker.Events()
-	res.Histories = tracker.Histories()
-	return res, nil
+	return s.Result(), nil
 }
 
 // Lifetimes returns the lifetime in days of every tracked community,

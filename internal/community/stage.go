@@ -1,0 +1,298 @@
+package community
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/louvain"
+	"repro/internal/trace"
+	"repro/internal/tracking"
+)
+
+// Stage is the streaming form of Run: the snapshot pipeline (incremental
+// Louvain + similarity tracking) driven by day-end callbacks from the
+// engine's single shared pass.
+type Stage struct {
+	opt      Options
+	wantDist map[int32]bool
+	tracker  *tracking.Tracker
+	prevComm []int32
+	res      *Result
+	err      error
+	done     bool
+}
+
+// NewStage creates a streaming community-pipeline stage with Run's
+// defaulting.
+func NewStage(opt Options) *Stage {
+	if opt.SnapshotEvery <= 0 {
+		opt.SnapshotEvery = 3
+	}
+	if opt.MinSize <= 0 {
+		opt.MinSize = 10
+	}
+	if opt.Delta <= 0 {
+		opt.Delta = 0.04
+	}
+	s := &Stage{
+		opt:      opt,
+		wantDist: map[int32]bool{},
+		tracker:  tracking.NewTracker(opt.MinSize),
+		res:      &Result{Opt: opt, SizeDists: map[int32][]int{}},
+	}
+	for _, d := range opt.SizeDistDays {
+		s.wantDist[d] = true
+	}
+	return s
+}
+
+// Name implements engine.Stage.
+func (s *Stage) Name() string { return "community" }
+
+// OnEvent implements engine.Stage; the pipeline is snapshot-driven.
+func (s *Stage) OnEvent(_ *trace.State, _ trace.Event) {}
+
+// OnDayEnd runs one snapshot when the day is on the schedule and the graph
+// is large enough.
+func (s *Stage) OnDayEnd(st *trace.State, day int32) {
+	if s.err != nil {
+		return
+	}
+	if day < s.opt.StartDay || (day-s.opt.StartDay)%s.opt.SnapshotEvery != 0 {
+		return
+	}
+	if st.Graph.NumNodes() < s.opt.MinNodes {
+		return
+	}
+	// Incremental Louvain: seed with the previous snapshot's assignment;
+	// nodes that joined since get singletons.
+	init := make([]int32, st.Graph.NumNodes())
+	for i := range init {
+		if i < len(s.prevComm) {
+			init[i] = s.prevComm[i]
+		} else {
+			init[i] = -1
+		}
+	}
+	if s.prevComm == nil {
+		init = nil
+	}
+	lr, err := louvain.Run(st.Graph, louvain.Options{
+		Delta:     s.opt.Delta,
+		MaxLevels: s.opt.MaxLevels,
+		Seed:      s.opt.Seed,
+		Init:      init,
+	})
+	if err != nil {
+		s.err = fmt.Errorf("community: louvain at day %d: %w", day, err)
+		return
+	}
+	s.prevComm = lr.Community
+	snap := s.tracker.Advance(day, st.Graph, tracking.Assignment(lr.Community))
+	s.res.Final = snap
+
+	stat := SnapshotStat{
+		Day:            day,
+		Nodes:          st.Graph.NumNodes(),
+		Edges:          st.Graph.NumEdges(),
+		Modularity:     lr.Modularity,
+		AvgSimilarity:  snap.AvgSimilarity,
+		NumCommunities: len(snap.Communities),
+	}
+	// Top-5 coverage and size distribution.
+	sizes := make([]int, 0, len(snap.Communities))
+	for _, nodes := range snap.Communities {
+		sizes = append(sizes, len(nodes))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	top5 := 0
+	for i, sz := range sizes {
+		if i >= 5 {
+			break
+		}
+		top5 += sz
+		if stat.Nodes > 0 {
+			stat.TopCoverage[i] = float64(sz) / float64(stat.Nodes)
+		}
+	}
+	if stat.Nodes > 0 {
+		stat.Top5Coverage = float64(top5) / float64(stat.Nodes)
+	}
+	if s.wantDist[day] {
+		s.res.SizeDists[day] = sizes
+	}
+	s.res.Stats = append(s.res.Stats, stat)
+	s.res.LastDay = day
+}
+
+// Finish seals the pipeline: it reports any Louvain error, ErrNoSnapshots
+// for traces that never reached snapshot size, and otherwise attaches the
+// tracker's event log and histories to the result.
+func (s *Stage) Finish(_ *trace.State) error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.res.Stats) == 0 {
+		return ErrNoSnapshots
+	}
+	s.res.Events = s.tracker.Events()
+	s.res.Histories = s.tracker.Histories()
+	s.done = true
+	return nil
+}
+
+// Result returns the pipeline output after a successful Finish; nil before.
+func (s *Stage) Result() *Result {
+	if !s.done {
+		return nil
+	}
+	return s.res
+}
+
+// nodeActivity is UsersStage's per-node accumulator.
+type nodeActivity struct {
+	lastEdge int32
+	hasEdge  bool
+}
+
+// nodeGap is one buffered inter-arrival observation; community membership
+// of u is only known once the pipeline's final snapshot exists, so gaps are
+// classified in Finish.
+type nodeGap struct {
+	u   graph.NodeID
+	gap int32
+}
+
+// UsersStage is the streaming form of AnalyzeUsers (Fig 7). It subscribes
+// to the same pass as the community Stage; because users are classified by
+// the *final* snapshot's communities, per-node activity is buffered during
+// the pass and resolved against the community result in Finish. Degrees and
+// intra-community degrees come from the shared state's graph.
+type UsersStage struct {
+	buckets []SizeBucket
+	source  func() *Result
+	nodes   []nodeActivity
+	gaps    []nodeGap
+	impact  *UserImpact
+}
+
+// NewUsersStage creates a streaming Fig 7 stage; source provides the
+// community pipeline's result at Finish time (subscribe the community Stage
+// first and pass its Result method).
+func NewUsersStage(buckets []SizeBucket, source func() *Result) *UsersStage {
+	if len(buckets) == 0 {
+		buckets = DefaultSizeBuckets()
+	}
+	return &UsersStage{buckets: buckets, source: source}
+}
+
+// Name implements engine.Stage.
+func (s *UsersStage) Name() string { return "users" }
+
+// OnEvent records per-node edge activity and inter-arrival gaps.
+func (s *UsersStage) OnEvent(_ *trace.State, ev trace.Event) {
+	if ev.Kind != trace.AddEdge {
+		return
+	}
+	for _, u := range [2]graph.NodeID{ev.U, ev.V} {
+		for int32(len(s.nodes)) <= u {
+			s.nodes = append(s.nodes, nodeActivity{})
+		}
+		a := &s.nodes[u]
+		if a.hasEdge {
+			if gap := ev.Day - a.lastEdge; gap > 0 {
+				s.gaps = append(s.gaps, nodeGap{u: u, gap: gap})
+			}
+		}
+		a.lastEdge = ev.Day
+		a.hasEdge = true
+	}
+}
+
+// OnDayEnd implements engine.Stage.
+func (s *UsersStage) OnDayEnd(_ *trace.State, _ int32) {}
+
+// Finish classifies the buffered activity by the final snapshot's tracked
+// communities and assembles the UserImpact.
+func (s *UsersStage) Finish(st *trace.State) error {
+	var res *Result
+	if s.source != nil {
+		res = s.source()
+	}
+	out := &UserImpact{
+		LifetimesBySize: map[string][]float64{},
+		InRatioBySize:   map[string][]float64{},
+	}
+	nodeComm := map[graph.NodeID]int64{}
+	commSize := map[int64]int{}
+	if res != nil && res.Final != nil {
+		nodeComm = res.Final.NodeCommunity
+		for id, nodes := range res.Final.Communities {
+			commSize[id] = len(nodes)
+		}
+	}
+
+	// Fig 7a: gaps pooled by final community membership.
+	for _, g := range s.gaps {
+		if _, inComm := nodeComm[g.u]; inComm {
+			out.CommunityGaps = append(out.CommunityGaps, float64(g.gap))
+		} else {
+			out.NonCommunityGaps = append(out.NonCommunityGaps, float64(g.gap))
+		}
+	}
+
+	bucketName := func(size int) string {
+		for _, b := range s.buckets {
+			if size >= b.Min && size < b.Max {
+				return b.Name
+			}
+		}
+		return ""
+	}
+
+	n := st.Graph.NumNodes()
+	for int32(len(s.nodes)) < int32(n) {
+		s.nodes = append(s.nodes, nodeActivity{})
+	}
+	for u := 0; u < n; u++ {
+		a := &s.nodes[u]
+		id, inComm := nodeComm[graph.NodeID(u)]
+		key := "non-community"
+		if inComm {
+			key = bucketName(commSize[id])
+			if key == "" {
+				continue
+			}
+		}
+		if a.hasEdge {
+			out.LifetimesBySize[key] = append(out.LifetimesBySize[key], float64(a.lastEdge-st.JoinDay[u]))
+		}
+		if inComm {
+			neighbors := st.Graph.Neighbors(graph.NodeID(u))
+			if len(neighbors) > 0 {
+				cu := nodeComm[graph.NodeID(u)]
+				inDeg := 0
+				for _, v := range neighbors {
+					if cv, ok := nodeComm[v]; ok && cv == cu {
+						inDeg++
+					}
+				}
+				out.InRatioBySize[key] = append(out.InRatioBySize[key], float64(inDeg)/float64(len(neighbors)))
+			}
+		}
+	}
+	for _, v := range out.LifetimesBySize {
+		sort.Float64s(v)
+	}
+	for _, v := range out.InRatioBySize {
+		sort.Float64s(v)
+	}
+	sort.Float64s(out.CommunityGaps)
+	sort.Float64s(out.NonCommunityGaps)
+	s.impact = out
+	return nil
+}
+
+// Impact returns the assembled Fig 7 result after Finish; nil before.
+func (s *UsersStage) Impact() *UserImpact { return s.impact }

@@ -1,9 +1,6 @@
 package community
 
 import (
-	"sort"
-
-	"repro/internal/graph"
 	"repro/internal/trace"
 )
 
@@ -41,103 +38,16 @@ type UserImpact struct {
 
 // AnalyzeUsers computes the Fig 7 measures: users are classified by the
 // final snapshot's tracked communities, and their activity is measured
-// over the whole trace.
+// over the whole trace. It is the batch entry point over the streaming
+// UsersStage, which the engine also feeds from its single shared pass.
+// The result is never nil; for a trace that is not Validate()-clean the
+// replay stops at the first invalid event and the impact covers the valid
+// prefix.
 func AnalyzeUsers(events []trace.Event, res *Result, buckets []SizeBucket) *UserImpact {
-	if len(buckets) == 0 {
-		buckets = DefaultSizeBuckets()
-	}
-	out := &UserImpact{
-		LifetimesBySize: map[string][]float64{},
-		InRatioBySize:   map[string][]float64{},
-	}
-
-	// Per-node first/last edge day, gap collection, and intra-community
-	// degree under the final assignment.
-	type nodeAgg struct {
-		join     int32
-		lastEdge int32
-		hasEdge  bool
-		degree   int
-		inDeg    int
-	}
-	var agg []nodeAgg
-	nodeComm := map[graph.NodeID]int64{}
-	commSize := map[int64]int{}
-	if res.Final != nil {
-		nodeComm = res.Final.NodeCommunity
-		for id, nodes := range res.Final.Communities {
-			commSize[id] = len(nodes)
-		}
-	}
-	lastEdgeDay := map[graph.NodeID]int32{}
-	for _, ev := range events {
-		switch ev.Kind {
-		case trace.AddNode:
-			for int32(len(agg)) <= ev.U {
-				agg = append(agg, nodeAgg{join: ev.Day})
-			}
-			agg[ev.U].join = ev.Day
-		case trace.AddEdge:
-			cu, inU := nodeComm[ev.U]
-			cv, inV := nodeComm[ev.V]
-			same := inU && inV && cu == cv
-			for _, u := range [2]graph.NodeID{ev.U, ev.V} {
-				a := &agg[u]
-				a.degree++
-				if same {
-					a.inDeg++
-				}
-				if last, ok := lastEdgeDay[u]; ok {
-					gap := float64(ev.Day - last)
-					if gap > 0 {
-						_, inComm := nodeComm[u]
-						if inComm {
-							out.CommunityGaps = append(out.CommunityGaps, gap)
-						} else {
-							out.NonCommunityGaps = append(out.NonCommunityGaps, gap)
-						}
-					}
-				}
-				lastEdgeDay[u] = ev.Day
-				a.lastEdge = ev.Day
-				a.hasEdge = true
-			}
-		}
-	}
-
-	bucketName := func(size int) string {
-		for _, b := range buckets {
-			if size >= b.Min && size < b.Max {
-				return b.Name
-			}
-		}
-		return ""
-	}
-
-	for u := range agg {
-		a := &agg[u]
-		id, inComm := nodeComm[graph.NodeID(u)]
-		key := "non-community"
-		if inComm {
-			key = bucketName(commSize[id])
-			if key == "" {
-				continue
-			}
-		}
-		if a.hasEdge {
-			out.LifetimesBySize[key] = append(out.LifetimesBySize[key], float64(a.lastEdge-a.join))
-		}
-		if inComm && a.degree > 0 {
-			out.InRatioBySize[key] = append(out.InRatioBySize[key], float64(a.inDeg)/float64(a.degree))
-		}
-	}
-	for _, v := range out.LifetimesBySize {
-		sort.Float64s(v)
-	}
-	for _, v := range out.InRatioBySize {
-		sort.Float64s(v)
-	}
-	sort.Float64s(out.CommunityGaps)
-	sort.Float64s(out.NonCommunityGaps)
-	return out
+	s := NewUsersStage(buckets, func() *Result { return res })
+	// The state is valid up to the first replay error, and UsersStage's
+	// Finish never fails.
+	st, _ := trace.Replay(events, trace.Hooks{OnEvent: s.OnEvent})
+	_ = s.Finish(st)
+	return s.Impact()
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/community"
+	"repro/internal/engine"
 	"repro/internal/evolution"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -71,17 +72,7 @@ func DefaultConfig() Config {
 }
 
 // GrowthDay is one day of the Fig 1a/1b series.
-type GrowthDay struct {
-	Day        int32
-	NodesAdded int64
-	EdgesAdded int64
-	Nodes      int64 // cumulative
-	Edges      int64 // cumulative
-	// NodeGrowthPct/EdgeGrowthPct are the relative daily growth
-	// percentages of Fig 1b.
-	NodeGrowthPct float64
-	EdgeGrowthPct float64
-}
+type GrowthDay = metrics.GrowthDay
 
 // DeltaRun is one δ value's community pipeline outcome (Fig 4).
 type DeltaRun struct {
@@ -118,11 +109,8 @@ type Result struct {
 // ErrEmptyTrace is returned for traces with no events.
 var ErrEmptyTrace = errors.New("core: empty trace")
 
-// Run executes the configured pipeline stages over the trace.
-func Run(tr *trace.Trace, cfg Config) (*Result, error) {
-	if len(tr.Events) == 0 {
-		return nil, ErrEmptyTrace
-	}
+// withDefaults fills the paper's scaled defaults into zero-valued knobs.
+func (cfg Config) withDefaults() Config {
 	if cfg.MetricsEvery <= 0 {
 		cfg.MetricsEvery = 3
 	}
@@ -135,6 +123,152 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.ClusteringSamples <= 0 {
 		cfg.ClusteringSamples = 1000
 	}
+	return cfg
+}
+
+// applyMergePrediction trains and evaluates the Fig 6b SVM merge predictor
+// over a community result and copies the outcome into res. Evaluation
+// errors (e.g. a dataset too small to split) leave the result fields empty;
+// the figure then reports ErrStageSkipped, matching the pipeline's historic
+// behavior.
+func applyMergePrediction(res *Result, cr *community.Result, mergeDay int32, seed int64) {
+	ds := community.BuildMergeDataset(cr, mergeDay)
+	bins, overall, err := community.EvaluateMergePrediction(ds, 10, svmOptions(seed))
+	if err != nil {
+		return
+	}
+	res.MergeBins = bins
+	res.MergeOverall.PosAccuracy = overall.PosAccuracy
+	res.MergeOverall.NegAccuracy = overall.NegAccuracy
+	res.MergeOverall.Accuracy = overall.Accuracy
+	res.MergeOverall.N = overall.N
+}
+
+// Run executes the configured pipeline stages over the trace on the
+// streaming engine: every non-sweep stage subscribes to one shared replay
+// pass, while the δ-sweep's per-δ community pipelines and the SVM
+// merge-prediction evaluation fan out across a bounded worker pool. The
+// result is identical to RunBatch's (the equivalence is enforced by
+// TestEngineMatchesBatch); only the pass structure differs.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(tr.Events) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	cfg = cfg.withDefaults()
+	res := &Result{Meta: tr.Meta}
+
+	eng := engine.New()
+	eng.Hint(int(tr.Meta.Nodes), int(tr.Meta.Edges))
+
+	var ms *metrics.Stage
+	if !cfg.SkipMetrics {
+		ms = metrics.NewStage(metrics.StageOptions{
+			MetricsEvery:      cfg.MetricsEvery,
+			PathEvery:         cfg.PathEvery,
+			PathSources:       cfg.PathSources,
+			ClusteringSamples: cfg.ClusteringSamples,
+			Seed:              cfg.Seed,
+		})
+		eng.Subscribe(ms)
+	}
+	var es *evolution.Stage
+	var as *evolution.AlphaStage
+	if !cfg.SkipEvolution {
+		es = evolution.NewStage(cfg.Evolution)
+		as = evolution.NewAlphaStage(cfg.Alpha)
+		eng.Subscribe(es, as)
+	}
+	var cs *community.Stage
+	var us *community.UsersStage
+	if !cfg.SkipCommunity {
+		cs = community.NewStage(cfg.Community)
+		us = community.NewUsersStage(nil, cs.Result)
+		eng.Subscribe(cs, us)
+	}
+	var os *osnmerge.Stage
+	if !cfg.SkipMerge && tr.Meta.MergeDay >= 0 {
+		os = osnmerge.NewStage(tr.Meta.MergeDay, cfg.Merge)
+		eng.Subscribe(os)
+	}
+
+	// The δ-sweep needs one community pipeline per δ with its own
+	// incremental Louvain state, so the runs cannot share the engine's
+	// pass; they fan out on the pool while the main pass runs here.
+	pool := engine.NewPool(0)
+	sweep := make([]*DeltaRun, len(cfg.DeltaSweep))
+	if !cfg.SkipCommunity {
+		for i, d := range cfg.DeltaSweep {
+			opt := cfg.Community
+			opt.Delta = d
+			pool.Go(func() error {
+				dr, err := community.Run(tr.Events, opt)
+				if err != nil {
+					return fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
+				}
+				run := &DeltaRun{Delta: d, Stats: dr.Stats}
+				if len(opt.SizeDistDays) > 0 {
+					run.SizeDist = dr.SizeDists[opt.SizeDistDays[len(opt.SizeDistDays)-1]]
+				}
+				sweep[i] = run
+				return nil
+			})
+		}
+	}
+
+	var err error
+	if eng.Stages() > 0 {
+		_, err = eng.Run(tr.Events)
+	}
+	if err == nil && cs != nil {
+		// The SVM evaluation depends on the community stage's result but
+		// not on the other finishers; it joins the concurrent fan-out.
+		pool.Go(func() error {
+			applyMergePrediction(res, cs.Result(), tr.Meta.MergeDay, cfg.Seed)
+			return nil
+		})
+	}
+	// Always drain the pool, even on engine error, so no goroutine
+	// outlives the call.
+	if werr := pool.Wait(); err == nil && werr != nil {
+		return nil, werr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	if ms != nil {
+		res.Growth = ms.Growth
+		res.Metrics = ms.Snapshots
+	}
+	if es != nil {
+		res.Evolution = es.Result()
+		res.Alpha = as.Result()
+	}
+	if cs != nil {
+		res.Community = cs.Result()
+		res.Users = us.Impact()
+	}
+	if os != nil {
+		res.Merge = os.Result()
+	}
+	for _, run := range sweep {
+		if run != nil {
+			res.DeltaSweep = append(res.DeltaSweep, *run)
+		}
+	}
+	return res, nil
+}
+
+// RunBatch executes the same pipeline through the per-analysis batch entry
+// points: each stage replays the trace independently (8+ passes on a full
+// configuration). It is kept as the reference implementation the streaming
+// engine is tested against, and as a fallback when per-stage isolation is
+// worth more than speed.
+func RunBatch(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(tr.Events) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	cfg = cfg.withDefaults()
 	res := &Result{Meta: tr.Meta}
 
 	if !cfg.SkipMetrics {
@@ -161,14 +295,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 		res.Community = cr
 		res.Users = community.AnalyzeUsers(tr.Events, cr, nil)
-		ds := community.BuildMergeDataset(cr, tr.Meta.MergeDay)
-		if bins, overall, err := community.EvaluateMergePrediction(ds, 10, svmOptions(cfg.Seed)); err == nil {
-			res.MergeBins = bins
-			res.MergeOverall.PosAccuracy = overall.PosAccuracy
-			res.MergeOverall.NegAccuracy = overall.NegAccuracy
-			res.MergeOverall.Accuracy = overall.Accuracy
-			res.MergeOverall.N = overall.N
-		}
+		applyMergePrediction(res, cr, tr.Meta.MergeDay, cfg.Seed)
 		for _, d := range cfg.DeltaSweep {
 			opt := cfg.Community
 			opt.Delta = d
@@ -193,7 +320,9 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runMetrics computes the Fig 1 series in one replay pass.
+// runMetrics computes the Fig 1 series in one replay pass of its own,
+// independent of the streaming metrics.Stage, so the batch reference path
+// stays a genuinely separate implementation.
 func runMetrics(tr *trace.Trace, cfg Config, res *Result) error {
 	rng := stats.NewRand(cfg.Seed)
 	var prevNodes, prevEdges int64

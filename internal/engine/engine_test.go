@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func testEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.AddNode, Day: 0, U: 0},
+		{Kind: trace.AddNode, Day: 0, U: 1},
+		{Kind: trace.AddNode, Day: 2, U: 2},
+		{Kind: trace.AddEdge, Day: 2, U: 0, V: 1},
+		{Kind: trace.AddEdge, Day: 5, U: 1, V: 2},
+	}
+}
+
+func TestEngineSinglePassAllStages(t *testing.T) {
+	prev := trace.OnReplayPass
+	defer func() { trace.OnReplayPass = prev }()
+	var passes atomic.Int64
+	trace.OnReplayPass = func() { passes.Add(1) }
+
+	e := New()
+	e.Hint(3, 2)
+	type tally struct {
+		events int
+		days   []int32
+		done   bool
+	}
+	tallies := make([]tally, 3)
+	for i := range tallies {
+		i := i
+		e.Subscribe(Funcs{
+			StageName: "tally",
+			Event:     func(st *trace.State, ev trace.Event) { tallies[i].events++ },
+			DayEnd:    func(st *trace.State, day int32) { tallies[i].days = append(tallies[i].days, day) },
+			Done: func(st *trace.State) error {
+				tallies[i].done = true
+				return nil
+			},
+		})
+	}
+	st, err := e.Run(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph.NumNodes() != 3 || st.Graph.NumEdges() != 2 {
+		t.Fatalf("shared state: %d nodes %d edges", st.Graph.NumNodes(), st.Graph.NumEdges())
+	}
+	if got := passes.Load(); got != 1 {
+		t.Fatalf("replay passes = %d, want 1 for %d stages", got, len(tallies))
+	}
+	wantDays := []int32{0, 1, 2, 3, 4, 5}
+	for i, ta := range tallies {
+		if ta.events != len(testEvents()) || !ta.done {
+			t.Errorf("stage %d: events=%d done=%v", i, ta.events, ta.done)
+		}
+		if !reflect.DeepEqual(ta.days, wantDays) {
+			t.Errorf("stage %d: days=%v want %v", i, ta.days, wantDays)
+		}
+	}
+}
+
+func TestEngineFinishErrorNamesStage(t *testing.T) {
+	boom := errors.New("boom")
+	e := New()
+	var secondFinished bool
+	e.Subscribe(
+		Funcs{StageName: "first", Done: func(st *trace.State) error { return boom }},
+		Funcs{StageName: "second", Done: func(st *trace.State) error { secondFinished = true; return nil }},
+	)
+	_, err := e.Run(testEvents())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := err.Error(); got != "first: boom" {
+		t.Fatalf("err text = %q", got)
+	}
+	if secondFinished {
+		t.Fatal("finish after a failed stage should not run")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		p.Go(func() error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("max concurrency %d > bound %d", m, workers)
+	}
+}
+
+func TestPoolFirstErrorWinsAndAllTasksRun(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		i := i
+		p.Go(func() error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran = %d, want all 8 despite the error", ran.Load())
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	var n atomic.Int64
+	for i := 0; i < 4; i++ {
+		p.Go(func() error { n.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil || n.Load() != 4 {
+		t.Fatalf("err=%v n=%d", err, n.Load())
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded fan-out for analyses that cannot share the single
+// replay pass: each submitted task runs on its own goroutine, but at most
+// `workers` tasks execute concurrently. Wait returns the first error.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool creates a pool executing at most workers tasks at once;
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Go submits one task. It never blocks the caller; the task blocks until a
+// worker slot frees up. Tasks run even after another task has failed (their
+// errors are simply dropped), keeping result-slot writes deterministic.
+func (p *Pool) Go(fn func() error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		if err := fn(); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = err
+			}
+			p.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has finished and returns the first
+// error any task reported. The pool is reusable after Wait.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

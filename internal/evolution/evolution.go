@@ -5,10 +5,7 @@ package evolution
 
 import (
 	"errors"
-	"math"
-	"sort"
 
-	"repro/internal/graph"
 	"repro/internal/powerlaw"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -92,154 +89,18 @@ type Result struct {
 // ErrNoEdges is returned when a trace has no edge events.
 var ErrNoEdges = errors.New("evolution: trace has no edges")
 
-// Analyze runs the Fig 2 analyses over a trace.
+// Analyze runs the Fig 2 analyses over a trace. It is the batch entry
+// point: the actual computation lives in Stage, which the engine also feeds
+// from its single shared pass.
 func Analyze(events []trace.Event, opt Options) (*Result, error) {
-	if len(opt.Buckets) == 0 {
-		opt.Buckets = DefaultAgeBuckets()
-	}
-	if opt.LifetimeBins <= 0 {
-		opt.LifetimeBins = 20
-	}
-	if len(opt.MinAgeThresholds) == 0 {
-		opt.MinAgeThresholds = []int32{1, 10, 30}
-	}
-
-	// Per-node join day and edge-day lists.
-	var joinDay []int32
-	edgeDays := map[graph.NodeID][]int32{}
-	hasEdges := false
-
-	// Inter-arrival histograms per bucket.
-	hists := make([]*stats.LogHistogram, len(opt.Buckets))
-	for i := range hists {
-		hists[i], _ = stats.NewLogHistogram(1.35)
-	}
-	lastEdge := map[graph.NodeID]int32{}
-
-	// Fig 2c accumulation.
-	sort.Slice(opt.MinAgeThresholds, func(i, j int) bool { return opt.MinAgeThresholds[i] < opt.MinAgeThresholds[j] })
-	var minAge []MinAgeDay
-	var curDay int32 = -1
-	var dayTotal int64
-	dayHits := make([]int64, len(opt.MinAgeThresholds))
-	flushDay := func() {
-		if curDay < 0 || dayTotal == 0 {
-			return
-		}
-		fr := make([]float64, len(dayHits))
-		for i, h := range dayHits {
-			fr[i] = float64(h) / float64(dayTotal)
-		}
-		minAge = append(minAge, MinAgeDay{Day: curDay, Frac: fr, Total: dayTotal})
-	}
-
-	bucketOf := func(age int32) int {
-		for i, b := range opt.Buckets {
-			if age >= b.MinDays && age < b.MaxDays {
-				return i
-			}
-		}
-		return -1
-	}
-
+	s := NewStage(opt)
 	for _, ev := range events {
-		switch ev.Kind {
-		case trace.AddNode:
-			for int32(len(joinDay)) <= ev.U {
-				joinDay = append(joinDay, ev.Day)
-			}
-			joinDay[ev.U] = ev.Day
-		case trace.AddEdge:
-			hasEdges = true
-			if ev.Day != curDay {
-				flushDay()
-				curDay = ev.Day
-				dayTotal = 0
-				for i := range dayHits {
-					dayHits[i] = 0
-				}
-			}
-			ageU := ev.Day - joinDay[ev.U]
-			ageV := ev.Day - joinDay[ev.V]
-			minA := ageU
-			if ageV < minA {
-				minA = ageV
-			}
-			dayTotal++
-			for i, th := range opt.MinAgeThresholds {
-				if minA <= th {
-					dayHits[i]++
-				}
-			}
-			// Inter-arrival per endpoint.
-			for _, u := range [2]graph.NodeID{ev.U, ev.V} {
-				age := ev.Day - joinDay[u]
-				if last, ok := lastEdge[u]; ok {
-					gap := ev.Day - last
-					if gap > 0 {
-						if bi := bucketOf(age); bi >= 0 {
-							hists[bi].Add(float64(gap))
-						}
-					}
-				}
-				lastEdge[u] = ev.Day
-				edgeDays[u] = append(edgeDays[u], ev.Day)
-			}
-		}
+		s.OnEvent(nil, ev)
 	}
-	flushDay()
-	if !hasEdges {
-		return nil, ErrNoEdges
+	if err := s.Finish(nil); err != nil {
+		return nil, err
 	}
-
-	res := &Result{MinAge: minAge}
-	for i, h := range hists {
-		b := InterArrivalBucket{Bucket: opt.Buckets[i], PDF: h.Buckets(), Samples: h.Total()}
-		if gamma, err := powerlaw.FitBucketPDF(b.PDF); err == nil {
-			b.Gamma = gamma
-		}
-		res.InterArrival = append(res.InterArrival, b)
-	}
-
-	// Fig 2b: normalized lifetime activity.
-	hist := make([]float64, opt.LifetimeBins)
-	var users int
-	lastDay := curDay
-	for u, days := range edgeDays {
-		join := joinDay[u]
-		if len(days) < opt.MinDegree {
-			continue
-		}
-		if lastDay-join < opt.MinHistoryDays {
-			continue
-		}
-		last := days[len(days)-1]
-		life := float64(last - join)
-		if life <= 0 {
-			continue
-		}
-		users++
-		for _, d := range days {
-			pos := float64(d-join) / life
-			bin := int(pos * float64(opt.LifetimeBins))
-			if bin >= opt.LifetimeBins {
-				bin = opt.LifetimeBins - 1
-			}
-			hist[bin]++
-		}
-	}
-	var total float64
-	for _, h := range hist {
-		total += h
-	}
-	if total > 0 {
-		for i := range hist {
-			hist[i] /= total
-		}
-	}
-	res.LifetimeHist = hist
-	res.NodesAnalyzed = users
-	return res, nil
+	return s.Result(), nil
 }
 
 // AlphaOptions configures the Fig 3 analysis.
@@ -268,50 +129,15 @@ type AlphaResult struct {
 	PolyScale              float64
 }
 
-// AnalyzeAlpha measures α(t) over the trace (Fig 3).
+// AnalyzeAlpha measures α(t) over the trace (Fig 3). Like Analyze, it is a
+// batch wrapper over the streaming AlphaStage.
 func AnalyzeAlpha(events []trace.Event, opt AlphaOptions) (*AlphaResult, error) {
-	if opt.Interval <= 0 {
-		opt.Interval = 5000
-	}
-	if opt.PolyDegree <= 0 {
-		opt.PolyDegree = 5
-	}
-	tr := powerlaw.NewAlphaTracker(opt.Interval, opt.MinEdges, stats.NewRand(opt.Seed))
-	day := int32(0)
-	sawEdge := false
+	s := NewAlphaStage(opt)
 	for _, ev := range events {
-		day = ev.Day
-		switch ev.Kind {
-		case trace.AddNode:
-			tr.ObserveNode(ev.U)
-		case trace.AddEdge:
-			tr.ObserveEdge(ev.U, ev.V, ev.Day)
-			sawEdge = true
-		}
+		s.OnEvent(nil, ev)
 	}
-	if !sawEdge {
-		return nil, ErrNoEdges
+	if err := s.Finish(nil); err != nil {
+		return nil, err
 	}
-	res := &AlphaResult{Samples: tr.Finish(day)}
-	hi := tr.Estimator(powerlaw.DestHigherDegree)
-	lo := tr.Estimator(powerlaw.DestRandom)
-	res.PEHigher = hi.Snapshot()
-	res.PERandom = lo.Snapshot()
-	if a, _, m, err := hi.Fit(); err == nil {
-		res.FinalAlphaHigher, res.FinalMSEHigher = a, m
-	}
-	if a, _, m, err := lo.Fit(); err == nil {
-		res.FinalAlphaRandom, res.FinalMSERandom = a, m
-	}
-	// Polynomial fit of α(t) as in Fig 3c, scaled for conditioning.
-	if n := len(res.Samples); n > opt.PolyDegree {
-		res.PolyScale = math.Max(1, float64(res.Samples[n-1].Edges))
-		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestHigherDegree, opt.PolyDegree, res.PolyScale); err == nil {
-			res.PolyHigher = c
-		}
-		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestRandom, opt.PolyDegree, res.PolyScale); err == nil {
-			res.PolyRandom = c
-		}
-	}
-	return res, nil
+	return s.Result(), nil
 }

@@ -1,0 +1,271 @@
+package evolution
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/powerlaw"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Stage is the streaming form of Analyze (Fig 2): it consumes one event at
+// a time from the engine's shared pass and assembles the Result in Finish.
+// It tracks its own per-node columns, so it also runs detached from a
+// trace.State (the batch Analyze entry point feeds it a plain event loop).
+type Stage struct {
+	opt Options
+
+	joinDay  []int32
+	edgeDays map[graph.NodeID][]int32
+	hasEdges bool
+
+	hists    []*stats.LogHistogram
+	lastEdge map[graph.NodeID]int32
+
+	minAge   []MinAgeDay
+	curDay   int32
+	dayTotal int64
+	dayHits  []int64
+
+	res *Result
+}
+
+// NewStage creates a streaming Fig 2 stage; zero option fields get the
+// paper's defaults, as in Analyze.
+func NewStage(opt Options) *Stage {
+	if len(opt.Buckets) == 0 {
+		opt.Buckets = DefaultAgeBuckets()
+	}
+	if opt.LifetimeBins <= 0 {
+		opt.LifetimeBins = 20
+	}
+	if len(opt.MinAgeThresholds) == 0 {
+		opt.MinAgeThresholds = []int32{1, 10, 30}
+	}
+	sort.Slice(opt.MinAgeThresholds, func(i, j int) bool { return opt.MinAgeThresholds[i] < opt.MinAgeThresholds[j] })
+	s := &Stage{
+		opt:      opt,
+		edgeDays: map[graph.NodeID][]int32{},
+		hists:    make([]*stats.LogHistogram, len(opt.Buckets)),
+		lastEdge: map[graph.NodeID]int32{},
+		curDay:   -1,
+		dayHits:  make([]int64, len(opt.MinAgeThresholds)),
+	}
+	for i := range s.hists {
+		s.hists[i], _ = stats.NewLogHistogram(1.35)
+	}
+	return s
+}
+
+// Name implements engine.Stage.
+func (s *Stage) Name() string { return "evolution" }
+
+func (s *Stage) flushDay() {
+	if s.curDay < 0 || s.dayTotal == 0 {
+		return
+	}
+	fr := make([]float64, len(s.dayHits))
+	for i, h := range s.dayHits {
+		fr[i] = float64(h) / float64(s.dayTotal)
+	}
+	s.minAge = append(s.minAge, MinAgeDay{Day: s.curDay, Frac: fr, Total: s.dayTotal})
+}
+
+func (s *Stage) bucketOf(age int32) int {
+	for i, b := range s.opt.Buckets {
+		if age >= b.MinDays && age < b.MaxDays {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnEvent folds one event into the inter-arrival, lifetime, and min-age
+// accumulators. The shared state is unused; nil is accepted.
+func (s *Stage) OnEvent(_ *trace.State, ev trace.Event) {
+	switch ev.Kind {
+	case trace.AddNode:
+		for int32(len(s.joinDay)) <= ev.U {
+			s.joinDay = append(s.joinDay, ev.Day)
+		}
+		s.joinDay[ev.U] = ev.Day
+	case trace.AddEdge:
+		s.hasEdges = true
+		if ev.Day != s.curDay {
+			s.flushDay()
+			s.curDay = ev.Day
+			s.dayTotal = 0
+			for i := range s.dayHits {
+				s.dayHits[i] = 0
+			}
+		}
+		ageU := ev.Day - s.joinDay[ev.U]
+		ageV := ev.Day - s.joinDay[ev.V]
+		minA := ageU
+		if ageV < minA {
+			minA = ageV
+		}
+		s.dayTotal++
+		for i, th := range s.opt.MinAgeThresholds {
+			if minA <= th {
+				s.dayHits[i]++
+			}
+		}
+		// Inter-arrival per endpoint.
+		for _, u := range [2]graph.NodeID{ev.U, ev.V} {
+			age := ev.Day - s.joinDay[u]
+			if last, ok := s.lastEdge[u]; ok {
+				gap := ev.Day - last
+				if gap > 0 {
+					if bi := s.bucketOf(age); bi >= 0 {
+						s.hists[bi].Add(float64(gap))
+					}
+				}
+			}
+			s.lastEdge[u] = ev.Day
+			s.edgeDays[u] = append(s.edgeDays[u], ev.Day)
+		}
+	}
+}
+
+// OnDayEnd implements engine.Stage; the stage keys its daily flush on edge
+// days, matching the batch analysis.
+func (s *Stage) OnDayEnd(_ *trace.State, _ int32) {}
+
+// Finish assembles the Fig 2 Result; ErrNoEdges if the trace had no edges.
+func (s *Stage) Finish(_ *trace.State) error {
+	s.flushDay()
+	if !s.hasEdges {
+		return ErrNoEdges
+	}
+	res := &Result{MinAge: s.minAge}
+	for i, h := range s.hists {
+		b := InterArrivalBucket{Bucket: s.opt.Buckets[i], PDF: h.Buckets(), Samples: h.Total()}
+		if gamma, err := powerlaw.FitBucketPDF(b.PDF); err == nil {
+			b.Gamma = gamma
+		}
+		res.InterArrival = append(res.InterArrival, b)
+	}
+
+	// Fig 2b: normalized lifetime activity.
+	hist := make([]float64, s.opt.LifetimeBins)
+	var users int
+	lastDay := s.curDay
+	for u, days := range s.edgeDays {
+		join := s.joinDay[u]
+		if len(days) < s.opt.MinDegree {
+			continue
+		}
+		if lastDay-join < s.opt.MinHistoryDays {
+			continue
+		}
+		last := days[len(days)-1]
+		life := float64(last - join)
+		if life <= 0 {
+			continue
+		}
+		users++
+		for _, d := range days {
+			pos := float64(d-join) / life
+			bin := int(pos * float64(s.opt.LifetimeBins))
+			if bin >= s.opt.LifetimeBins {
+				bin = s.opt.LifetimeBins - 1
+			}
+			hist[bin]++
+		}
+	}
+	var total float64
+	for _, h := range hist {
+		total += h
+	}
+	if total > 0 {
+		for i := range hist {
+			hist[i] /= total
+		}
+	}
+	res.LifetimeHist = hist
+	res.NodesAnalyzed = users
+	s.res = res
+	return nil
+}
+
+// Result returns the assembled analysis after Finish; nil before.
+func (s *Stage) Result() *Result { return s.res }
+
+// AlphaStage is the streaming form of AnalyzeAlpha (Fig 3).
+type AlphaStage struct {
+	opt     AlphaOptions
+	tracker *powerlaw.AlphaTracker
+	day     int32
+	sawEdge bool
+	res     *AlphaResult
+}
+
+// NewAlphaStage creates a streaming Fig 3 stage with AnalyzeAlpha's
+// defaulting.
+func NewAlphaStage(opt AlphaOptions) *AlphaStage {
+	if opt.Interval <= 0 {
+		opt.Interval = 5000
+	}
+	if opt.PolyDegree <= 0 {
+		opt.PolyDegree = 5
+	}
+	return &AlphaStage{
+		opt:     opt,
+		tracker: powerlaw.NewAlphaTracker(opt.Interval, opt.MinEdges, stats.NewRand(opt.Seed)),
+	}
+}
+
+// Name implements engine.Stage.
+func (s *AlphaStage) Name() string { return "alpha" }
+
+// OnEvent forwards arrivals to the α tracker.
+func (s *AlphaStage) OnEvent(_ *trace.State, ev trace.Event) {
+	s.day = ev.Day
+	switch ev.Kind {
+	case trace.AddNode:
+		s.tracker.ObserveNode(ev.U)
+	case trace.AddEdge:
+		s.tracker.ObserveEdge(ev.U, ev.V, ev.Day)
+		s.sawEdge = true
+	}
+}
+
+// OnDayEnd implements engine.Stage.
+func (s *AlphaStage) OnDayEnd(_ *trace.State, _ int32) {}
+
+// Finish fits the final exponents and the α(t) polynomial; ErrNoEdges if
+// the trace had no edges.
+func (s *AlphaStage) Finish(_ *trace.State) error {
+	if !s.sawEdge {
+		return ErrNoEdges
+	}
+	res := &AlphaResult{Samples: s.tracker.Finish(s.day)}
+	hi := s.tracker.Estimator(powerlaw.DestHigherDegree)
+	lo := s.tracker.Estimator(powerlaw.DestRandom)
+	res.PEHigher = hi.Snapshot()
+	res.PERandom = lo.Snapshot()
+	if a, _, m, err := hi.Fit(); err == nil {
+		res.FinalAlphaHigher, res.FinalMSEHigher = a, m
+	}
+	if a, _, m, err := lo.Fit(); err == nil {
+		res.FinalAlphaRandom, res.FinalMSERandom = a, m
+	}
+	// Polynomial fit of α(t) as in Fig 3c, scaled for conditioning.
+	if n := len(res.Samples); n > s.opt.PolyDegree {
+		res.PolyScale = math.Max(1, float64(res.Samples[n-1].Edges))
+		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestHigherDegree, s.opt.PolyDegree, res.PolyScale); err == nil {
+			res.PolyHigher = c
+		}
+		if c, err := powerlaw.FitPolynomial(res.Samples, powerlaw.DestRandom, s.opt.PolyDegree, res.PolyScale); err == nil {
+			res.PolyRandom = c
+		}
+	}
+	s.res = res
+	return nil
+}
+
+// Result returns the assembled analysis after Finish; nil before.
+func (s *AlphaStage) Result() *AlphaResult { return s.res }

@@ -7,19 +7,34 @@ const Unreachable = -1
 // BFS computes hop distances from src to every node. The result slice has
 // one entry per node; unreachable nodes get Unreachable.
 func (g *Graph) BFS(src NodeID) []int32 {
-	dist := make([]int32, len(g.adj))
+	dist, _ := g.BFSInto(src, nil, nil)
+	return dist
+}
+
+// BFSInto is BFS with caller-owned scratch: dist and queue are grown as
+// needed and returned for reuse, so repeated traversals (the sampled
+// path-length estimator runs hundreds per snapshot) allocate nothing after
+// the first call. Pass nil slices on first use.
+func (g *Graph) BFSInto(src NodeID, dist []int32, queue []NodeID) ([]int32, []NodeID) {
+	n := len(g.adj)
+	if cap(dist) < n {
+		dist = make([]int32, n)
+	} else {
+		dist = dist[:n]
+	}
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	if src < 0 || int(src) >= len(g.adj) {
-		return dist
+	if src < 0 || int(src) >= n {
+		return dist, queue
 	}
-	queue := make([]NodeID, 0, 64)
-	queue = append(queue, src)
+	if cap(queue) == 0 {
+		queue = make([]NodeID, 0, 64)
+	}
+	queue = append(queue[:0], src)
 	dist[src] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.adj[u] {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
@@ -27,7 +42,7 @@ func (g *Graph) BFS(src NodeID) []int32 {
 			}
 		}
 	}
-	return dist
+	return dist, queue
 }
 
 // BFSWithin is like BFS but only traverses nodes for which allowed returns

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// GrowthDay is one day of the paper's Fig 1a/1b growth series.
+type GrowthDay struct {
+	Day        int32
+	NodesAdded int64
+	EdgesAdded int64
+	Nodes      int64 // cumulative
+	Edges      int64 // cumulative
+	// NodeGrowthPct/EdgeGrowthPct are the relative daily growth
+	// percentages of Fig 1b.
+	NodeGrowthPct float64
+	EdgeGrowthPct float64
+}
+
+// StageOptions parameterizes the streaming Fig 1 stage.
+type StageOptions struct {
+	// MetricsEvery is the cadence (days) of degree/clustering/
+	// assortativity measurements; PathEvery of sampled path length.
+	MetricsEvery int32
+	PathEvery    int32
+	// PathSources is the number of BFS sources for path length.
+	PathSources int
+	// ClusteringSamples is the node sample size for average clustering.
+	ClusteringSamples int
+	// Seed drives the sampled estimators.
+	Seed int64
+}
+
+// Stage computes the Fig 1 growth and snapshot-metric series from a single
+// replay pass; it subscribes to the engine alongside the other analyses.
+type Stage struct {
+	opt StageOptions
+	rng *rand.Rand
+
+	prevNodes, prevEdges   int64
+	addedNodes, addedEdges int64
+
+	paths      PathSampler
+	clustering ClusteringSampler
+
+	// Growth and Snapshots accumulate the Fig 1a/1b and Fig 1c–1f series.
+	Growth    []GrowthDay
+	Snapshots []Snapshot
+}
+
+// NewStage creates a streaming Fig 1 stage; zero-valued cadences and
+// sample sizes get the paper's scaled defaults.
+func NewStage(opt StageOptions) *Stage {
+	if opt.MetricsEvery <= 0 {
+		opt.MetricsEvery = 3
+	}
+	if opt.PathEvery <= 0 {
+		opt.PathEvery = 9
+	}
+	if opt.PathSources <= 0 {
+		opt.PathSources = 100
+	}
+	if opt.ClusteringSamples <= 0 {
+		opt.ClusteringSamples = 1000
+	}
+	return &Stage{opt: opt, rng: stats.NewRand(opt.Seed)}
+}
+
+// Name implements engine.Stage.
+func (s *Stage) Name() string { return "metrics" }
+
+// OnEvent counts the day's node and edge arrivals.
+func (s *Stage) OnEvent(st *trace.State, ev trace.Event) {
+	switch ev.Kind {
+	case trace.AddNode:
+		s.addedNodes++
+	case trace.AddEdge:
+		s.addedEdges++
+	}
+}
+
+// OnDayEnd closes the day's growth row and, on the metrics cadence, takes a
+// full metric snapshot of the live graph.
+func (s *Stage) OnDayEnd(st *trace.State, day int32) {
+	g := st.Graph
+	nodes, edges := int64(g.NumNodes()), g.NumEdges()
+	gd := GrowthDay{
+		Day:        day,
+		NodesAdded: s.addedNodes,
+		EdgesAdded: s.addedEdges,
+		Nodes:      nodes,
+		Edges:      edges,
+	}
+	if s.prevNodes > 0 {
+		gd.NodeGrowthPct = 100 * float64(s.addedNodes) / float64(s.prevNodes)
+	}
+	if s.prevEdges > 0 {
+		gd.EdgeGrowthPct = 100 * float64(s.addedEdges) / float64(s.prevEdges)
+	}
+	s.Growth = append(s.Growth, gd)
+	s.prevNodes, s.prevEdges = nodes, edges
+	s.addedNodes, s.addedEdges = 0, 0
+
+	if day%s.opt.MetricsEvery == 0 && nodes > 0 {
+		snap := Snapshot{
+			Day:        day,
+			Nodes:      nodes,
+			Edges:      edges,
+			AvgDegree:  AverageDegree(g),
+			Clustering: s.clustering.Sample(g, s.opt.ClusteringSamples, s.rng),
+			Assort:     Assortativity(g),
+		}
+		if day%s.opt.PathEvery == 0 {
+			if pl, err := s.paths.Sample(g, s.opt.PathSources, s.rng); err == nil {
+				snap.PathLength = pl
+			}
+		}
+		s.Snapshots = append(s.Snapshots, snap)
+	}
+}
+
+// Finish implements engine.Stage; the series are complete after the pass.
+func (s *Stage) Finish(st *trace.State) error { return nil }

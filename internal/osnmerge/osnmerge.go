@@ -7,11 +7,7 @@ package osnmerge
 
 import (
 	"errors"
-	"math"
-	"sort"
 
-	"repro/internal/graph"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -151,319 +147,20 @@ var (
 	ErrTooFew  = errors.New("osnmerge: no post-merge observation window")
 )
 
-// Analyze runs the full §5 analysis over a merged trace.
+// Analyze runs the full §5 analysis over a merged trace. It is the batch
+// entry point over the streaming Stage, which the engine also feeds from
+// its single shared pass; here the stage consumes one private replay.
 func Analyze(events []trace.Event, mergeDay int32, opt Options) (*Result, error) {
 	if mergeDay < 0 {
 		return nil, ErrNoMerge
 	}
-	if opt.ActivityPercentile <= 0 || opt.ActivityPercentile > 100 {
-		opt.ActivityPercentile = 99
-	}
-	if opt.FallbackThreshold <= 0 {
-		opt.FallbackThreshold = 94
-	}
-	if opt.DistanceEvery <= 0 {
-		opt.DistanceEvery = 5
-	}
-	if opt.DistanceSamples <= 0 {
-		opt.DistanceSamples = 100
-	}
-	if opt.RatioWindow <= 0 {
-		opt.RatioWindow = 7
-	}
-
-	meta := trace.Summarize(events)
-	lastDay := meta.Days - 1
-
-	// Pass 1: origins and the activity threshold.
-	var origin []trace.Origin
-	lastEdge := map[graph.NodeID]int32{}
-	gapSum := map[graph.NodeID]int64{}
-	gapN := map[graph.NodeID]int64{}
-	for _, ev := range events {
-		switch ev.Kind {
-		case trace.AddNode:
-			for int32(len(origin)) <= ev.U {
-				origin = append(origin, ev.Origin)
-			}
-			origin[ev.U] = ev.Origin
-		case trace.AddEdge:
-			for _, u := range [2]graph.NodeID{ev.U, ev.V} {
-				if last, ok := lastEdge[u]; ok {
-					gapSum[u] += int64(ev.Day - last)
-					gapN[u]++
-				}
-				lastEdge[u] = ev.Day
-			}
-		}
-	}
-	var means []float64
-	for u, n := range gapN {
-		if n > 0 {
-			means = append(means, float64(gapSum[u])/float64(n))
-		}
-	}
-	threshold := opt.FallbackThreshold
-	if len(means) > 0 {
-		if p, err := stats.Percentile(means, opt.ActivityPercentile); err == nil {
-			threshold = int32(math.Ceil(p))
-			if threshold < 1 {
-				threshold = 1
-			}
-		}
-	}
-
-	horizon := lastDay - threshold - mergeDay
-	if horizon <= 0 {
-		return nil, ErrTooFew
-	}
-
-	res := &Result{MergeDay: mergeDay, ActivityThreshold: threshold}
-	for _, o := range origin {
-		switch o {
-		case trace.OriginXiaonei:
-			res.XiaoneiUsers++
-		case trace.OriginFiveQ:
-			res.FiveQUsers++
-		}
-	}
-
-	// Pass 2: edge classification, activity coverage, ratios.
-	// coverage[origin][type] is a day-indexed counter of active users,
-	// built by unioning each user's per-type edge-coverage intervals.
-	type cov struct {
-		diff    []int64 // difference array over days-after-merge
-		lastEnd []int32 // per-user union state, index by node id
-	}
-	days := int(lastDay) + 2
-	newCov := func() *cov {
-		return &cov{diff: make([]int64, days+1), lastEnd: make([]int32, len(origin))}
-	}
-	// type index: 0=all 1=new 2=internal 3=external
-	var covers [2][4]*cov
-	for s := 0; s < 2; s++ {
-		for k := 0; k < 4; k++ {
-			covers[s][k] = newCov()
-		}
-	}
-	sideOf := func(o trace.Origin) int {
-		if o == trace.OriginXiaonei {
-			return 0
-		}
-		return 1
-	}
-	// mark records that user u (pre-merge) created an edge of the given
-	// type at absolute day e: it covers active-days [e-t+1, e].
-	mark := func(c *cov, u graph.NodeID, e int32) {
-		lo := e - threshold + 1
-		if lo <= mergeDay {
-			lo = mergeDay
-		}
-		if prev := c.lastEnd[u]; prev > lo {
-			lo = prev
-		}
-		hi := e + 1 // exclusive
-		if lo >= hi {
-			return
-		}
-		c.diff[lo]++
-		c.diff[hi]--
-		c.lastEnd[u] = hi
-	}
-
-	counts := map[int32]*DayCounts{}
-	type ratioAcc struct{ internal, external, newu []int64 }
-	acc := ratioAcc{
-		internal: make([]int64, days),
-		external: make([]int64, days),
-		newu:     make([]int64, days),
-	}
-	accX := ratioAcc{internal: make([]int64, days), external: make([]int64, days), newu: make([]int64, days)}
-	accQ := ratioAcc{internal: make([]int64, days), external: make([]int64, days), newu: make([]int64, days)}
-
-	for _, ev := range events {
-		if ev.Kind != trace.AddEdge || ev.Day <= mergeDay {
-			continue
-		}
-		ou, ov := origin[ev.U], origin[ev.V]
-		class := Classify(ou, ov)
-		da := ev.Day - mergeDay
-		dc := counts[da]
-		if dc == nil {
-			dc = &DayCounts{Day: da}
-			counts[da] = dc
-		}
-		switch class {
-		case Internal:
-			dc.Internal++
-			acc.internal[ev.Day]++
-			if ou == trace.OriginXiaonei {
-				accX.internal[ev.Day]++
-			} else {
-				accQ.internal[ev.Day]++
-			}
-		case External:
-			dc.External++
-			acc.external[ev.Day]++
-			accX.external[ev.Day]++
-			accQ.external[ev.Day]++
-		case NewUser:
-			dc.NewUsers++
-			acc.newu[ev.Day]++
-			if ou == trace.OriginXiaonei || ov == trace.OriginXiaonei {
-				accX.newu[ev.Day]++
-			}
-			if ou == trace.OriginFiveQ || ov == trace.OriginFiveQ {
-				accQ.newu[ev.Day]++
-			}
-		}
-		// Activity coverage for pre-merge endpoints.
-		for _, pair := range [2][2]graph.NodeID{{ev.U, ev.V}, {ev.V, ev.U}} {
-			u, v := pair[0], pair[1]
-			o := origin[u]
-			if o == trace.OriginNew {
-				continue
-			}
-			s := sideOf(o)
-			mark(covers[s][0], u, ev.Day)
-			switch {
-			case origin[v] == trace.OriginNew:
-				mark(covers[s][1], u, ev.Day)
-			case origin[v] == o:
-				mark(covers[s][2], u, ev.Day)
-			default:
-				mark(covers[s][3], u, ev.Day)
-			}
-		}
-	}
-
-	// Fig 8c series.
-	for _, dc := range counts {
-		res.EdgesPerDay = append(res.EdgesPerDay, *dc)
-	}
-	sort.Slice(res.EdgesPerDay, func(i, j int) bool { return res.EdgesPerDay[i].Day < res.EdgesPerDay[j].Day })
-
-	// Fig 8a/8b curves from the coverage difference arrays.
-	makeActive := func(s int, total int) []ActiveDay {
-		if total == 0 {
-			return nil
-		}
-		cum := [4]int64{}
-		var out []ActiveDay
-		for d := int32(0); d <= lastDay; d++ {
-			for k := 0; k < 4; k++ {
-				cum[k] += covers[s][k].diff[d]
-			}
-			da := d - mergeDay
-			if da < 0 || da > horizon {
-				continue
-			}
-			out = append(out, ActiveDay{
-				DaysAfter: da,
-				All:       100 * float64(cum[0]) / float64(total),
-				New:       100 * float64(cum[1]) / float64(total),
-				Internal:  100 * float64(cum[2]) / float64(total),
-				External:  100 * float64(cum[3]) / float64(total),
-			})
-		}
-		return out
-	}
-	res.ActiveXiaonei = makeActive(0, res.XiaoneiUsers)
-	res.ActiveFiveQ = makeActive(1, res.FiveQUsers)
-	if len(res.ActiveXiaonei) > 0 {
-		res.InactiveAtMergeXiaonei = 1 - res.ActiveXiaonei[0].All/100
-	}
-	if len(res.ActiveFiveQ) > 0 {
-		res.InactiveAtMergeFiveQ = 1 - res.ActiveFiveQ[0].All/100
-	}
-
-	// Fig 9a/9b ratio series (windowed sums).
-	makeRatios := func(a ratioAcc) []RatioDay {
-		var out []RatioDay
-		w := opt.RatioWindow
-		var sumI, sumE, sumN int64
-		for d := mergeDay + 1; d <= lastDay; d++ {
-			sumI += a.internal[d]
-			sumE += a.external[d]
-			sumN += a.newu[d]
-			if old := d - w; old > mergeDay {
-				sumI -= a.internal[old]
-				sumE -= a.external[old]
-				sumN -= a.newu[old]
-			}
-			rd := RatioDay{Day: d - mergeDay}
-			if sumE > 0 {
-				rd.IntOverExt = float64(sumI) / float64(sumE)
-				rd.NewOverExt = float64(sumN) / float64(sumE)
-				rd.HasIntExt = true
-				rd.HasNewExt = true
-			}
-			out = append(out, rd)
-		}
-		return out
-	}
-	res.RatiosXiaonei = makeRatios(accX)
-	res.RatiosFiveQ = makeRatios(accQ)
-	res.RatiosBoth = makeRatios(acc)
-
-	// Fig 9c: replay-driven inter-OSN distances on the pre-merge subgraph.
-	res.Distances = measureDistances(events, origin, mergeDay, lastDay, opt)
-	return res, nil
-}
-
-// measureDistances samples, on a day schedule after the merge, the average
-// BFS distance from random users of each OSN to the nearest user of the
-// other, traversing only pre-merge users (new users and their edges are
-// excluded, as in the paper).
-func measureDistances(events []trace.Event, origin []trace.Origin, mergeDay, lastDay int32, opt Options) []DistancePoint {
-	rng := stats.NewRand(opt.Seed)
-	var out []DistancePoint
-
-	var xiaonei, fiveQ []graph.NodeID
-	for u, o := range origin {
-		switch o {
-		case trace.OriginXiaonei:
-			xiaonei = append(xiaonei, graph.NodeID(u))
-		case trace.OriginFiveQ:
-			fiveQ = append(fiveQ, graph.NodeID(u))
-		}
-	}
-	if len(xiaonei) == 0 || len(fiveQ) == 0 {
-		return nil
-	}
-	preMerge := func(v graph.NodeID) bool { return origin[v] != trace.OriginNew }
-
-	_, err := trace.Replay(events, trace.Hooks{
-		OnDayEnd: func(st *trace.State, day int32) {
-			if day <= mergeDay || (day-mergeDay)%opt.DistanceEvery != 0 {
-				return
-			}
-			measure := func(sources []graph.NodeID, target trace.Origin) float64 {
-				isTarget := func(v graph.NodeID) bool { return origin[v] == target }
-				var sum float64
-				var n int
-				for i := 0; i < opt.DistanceSamples; i++ {
-					src := sources[rng.Intn(len(sources))]
-					d := st.Graph.ShortestToSet(src, isTarget, preMerge)
-					if d >= 0 {
-						sum += float64(d)
-						n++
-					}
-				}
-				if n == 0 {
-					return math.NaN()
-				}
-				return sum / float64(n)
-			}
-			out = append(out, DistancePoint{
-				DaysAfter:      day - mergeDay,
-				XiaoneiTo5Q:    measure(xiaonei, trace.OriginFiveQ),
-				FiveQToXiaonei: measure(fiveQ, trace.OriginXiaonei),
-			})
-		},
-	})
+	s := NewStage(mergeDay, opt)
+	st, err := trace.Replay(events, trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return out
+	if err := s.Finish(st); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
 }

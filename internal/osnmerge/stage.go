@@ -1,0 +1,373 @@
+package osnmerge
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// postEdge is one buffered post-merge edge event. Edge classification and
+// activity coverage depend on the activity threshold, which is a percentile
+// over the whole trace, so these events are resolved in Finish.
+type postEdge struct {
+	day  int32
+	u, v graph.NodeID
+}
+
+// Stage is the streaming form of Analyze: the full §5 analysis from a
+// single pass. The batch entry point needed two event loops plus a third
+// replay for the distance series; the stage folds all three into the shared
+// pass by (a) accumulating per-user gap statistics incrementally, (b)
+// sampling inter-OSN distances inline at day boundaries from the live
+// graph, and (c) buffering post-merge edges until the activity threshold is
+// known in Finish.
+type Stage struct {
+	opt      Options
+	mergeDay int32
+	lastDay  int32
+
+	lastEdge map[graph.NodeID]int32
+	gapSum   map[graph.NodeID]int64
+	gapN     map[graph.NodeID]int64
+	post     []postEdge
+
+	rng       *rand.Rand
+	xiaonei   []graph.NodeID
+	fiveQ     []graph.NodeID
+	distances []DistancePoint
+
+	res *Result
+}
+
+// NewStage creates a streaming §5 stage with Analyze's defaulting.
+func NewStage(mergeDay int32, opt Options) *Stage {
+	if opt.ActivityPercentile <= 0 || opt.ActivityPercentile > 100 {
+		opt.ActivityPercentile = 99
+	}
+	if opt.FallbackThreshold <= 0 {
+		opt.FallbackThreshold = 94
+	}
+	if opt.DistanceEvery <= 0 {
+		opt.DistanceEvery = 5
+	}
+	if opt.DistanceSamples <= 0 {
+		opt.DistanceSamples = 100
+	}
+	if opt.RatioWindow <= 0 {
+		opt.RatioWindow = 7
+	}
+	return &Stage{
+		opt:      opt,
+		mergeDay: mergeDay,
+		lastDay:  -1,
+		lastEdge: map[graph.NodeID]int32{},
+		gapSum:   map[graph.NodeID]int64{},
+		gapN:     map[graph.NodeID]int64{},
+		rng:      stats.NewRand(opt.Seed),
+	}
+}
+
+// Name implements engine.Stage.
+func (s *Stage) Name() string { return "osnmerge" }
+
+// OnEvent accumulates per-user inter-arrival statistics, the distance-
+// source census, and buffers post-merge edges for Finish.
+func (s *Stage) OnEvent(_ *trace.State, ev trace.Event) {
+	if ev.Day > s.lastDay {
+		s.lastDay = ev.Day
+	}
+	if ev.Kind == trace.AddNode {
+		// AddNode events arrive in dense id order, so these lists stay
+		// sorted by node id, matching the batch census scan.
+		switch ev.Origin {
+		case trace.OriginXiaonei:
+			s.xiaonei = append(s.xiaonei, ev.U)
+		case trace.OriginFiveQ:
+			s.fiveQ = append(s.fiveQ, ev.U)
+		}
+		return
+	}
+	if ev.Kind != trace.AddEdge {
+		return
+	}
+	for _, u := range [2]graph.NodeID{ev.U, ev.V} {
+		if last, ok := s.lastEdge[u]; ok {
+			s.gapSum[u] += int64(ev.Day - last)
+			s.gapN[u]++
+		}
+		s.lastEdge[u] = ev.Day
+	}
+	if ev.Day > s.mergeDay {
+		s.post = append(s.post, postEdge{day: ev.Day, u: ev.U, v: ev.V})
+	}
+}
+
+// OnDayEnd samples the Fig 9c inter-OSN distances on schedule, from the
+// live graph restricted to pre-merge users.
+func (s *Stage) OnDayEnd(st *trace.State, day int32) {
+	if day <= s.mergeDay || (day-s.mergeDay)%s.opt.DistanceEvery != 0 {
+		return
+	}
+	// The census covers the users that exist on the sample day. For any
+	// trace whose Xiaonei/5Q users all join by the merge day (every trace
+	// the generator produces) this is the complete final census at every
+	// post-merge sample; source-origin users arriving later join the pool
+	// from their creation day onward.
+	if len(s.xiaonei) == 0 || len(s.fiveQ) == 0 {
+		return
+	}
+	preMerge := func(v graph.NodeID) bool { return st.Origin[v] != trace.OriginNew }
+	measure := func(sources []graph.NodeID, target trace.Origin) float64 {
+		isTarget := func(v graph.NodeID) bool { return st.Origin[v] == target }
+		var sum float64
+		var n int
+		for i := 0; i < s.opt.DistanceSamples; i++ {
+			src := sources[s.rng.Intn(len(sources))]
+			d := st.Graph.ShortestToSet(src, isTarget, preMerge)
+			if d >= 0 {
+				sum += float64(d)
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	}
+	s.distances = append(s.distances, DistancePoint{
+		DaysAfter:      day - s.mergeDay,
+		XiaoneiTo5Q:    measure(s.xiaonei, trace.OriginFiveQ),
+		FiveQToXiaonei: measure(s.fiveQ, trace.OriginXiaonei),
+	})
+}
+
+// Finish computes the activity threshold, resolves the buffered post-merge
+// edges into the Fig 8–9 series, and assembles the Result. It returns
+// ErrNoMerge for a negative merge day and ErrTooFew when the trace has no
+// post-merge observation window.
+func (s *Stage) Finish(st *trace.State) error {
+	if s.mergeDay < 0 {
+		return ErrNoMerge
+	}
+	origin := st.Origin
+	lastDay := s.lastDay
+
+	var means []float64
+	for u, n := range s.gapN {
+		if n > 0 {
+			means = append(means, float64(s.gapSum[u])/float64(n))
+		}
+	}
+	threshold := s.opt.FallbackThreshold
+	if len(means) > 0 {
+		if p, err := stats.Percentile(means, s.opt.ActivityPercentile); err == nil {
+			threshold = int32(math.Ceil(p))
+			if threshold < 1 {
+				threshold = 1
+			}
+		}
+	}
+
+	horizon := lastDay - threshold - s.mergeDay
+	if horizon <= 0 {
+		return ErrTooFew
+	}
+
+	res := &Result{MergeDay: s.mergeDay, ActivityThreshold: threshold}
+	for _, o := range origin {
+		switch o {
+		case trace.OriginXiaonei:
+			res.XiaoneiUsers++
+		case trace.OriginFiveQ:
+			res.FiveQUsers++
+		}
+	}
+
+	// Edge classification, activity coverage, ratios — over the buffered
+	// post-merge edges. coverage[origin][type] is a day-indexed counter of
+	// active users, built by unioning per-user per-type coverage intervals.
+	type cov struct {
+		diff    []int64 // difference array over days-after-merge
+		lastEnd []int32 // per-user union state, index by node id
+	}
+	days := int(lastDay) + 2
+	newCov := func() *cov {
+		return &cov{diff: make([]int64, days+1), lastEnd: make([]int32, len(origin))}
+	}
+	// type index: 0=all 1=new 2=internal 3=external
+	var covers [2][4]*cov
+	for side := 0; side < 2; side++ {
+		for k := 0; k < 4; k++ {
+			covers[side][k] = newCov()
+		}
+	}
+	sideOf := func(o trace.Origin) int {
+		if o == trace.OriginXiaonei {
+			return 0
+		}
+		return 1
+	}
+	mergeDay := s.mergeDay
+	// mark records that user u (pre-merge) created an edge of the given
+	// type at absolute day e: it covers active-days [e-t+1, e].
+	mark := func(c *cov, u graph.NodeID, e int32) {
+		lo := e - threshold + 1
+		if lo <= mergeDay {
+			lo = mergeDay
+		}
+		if prev := c.lastEnd[u]; prev > lo {
+			lo = prev
+		}
+		hi := e + 1 // exclusive
+		if lo >= hi {
+			return
+		}
+		c.diff[lo]++
+		c.diff[hi]--
+		c.lastEnd[u] = hi
+	}
+
+	counts := map[int32]*DayCounts{}
+	type ratioAcc struct{ internal, external, newu []int64 }
+	acc := ratioAcc{
+		internal: make([]int64, days),
+		external: make([]int64, days),
+		newu:     make([]int64, days),
+	}
+	accX := ratioAcc{internal: make([]int64, days), external: make([]int64, days), newu: make([]int64, days)}
+	accQ := ratioAcc{internal: make([]int64, days), external: make([]int64, days), newu: make([]int64, days)}
+
+	for _, ev := range s.post {
+		ou, ov := origin[ev.u], origin[ev.v]
+		class := Classify(ou, ov)
+		da := ev.day - mergeDay
+		dc := counts[da]
+		if dc == nil {
+			dc = &DayCounts{Day: da}
+			counts[da] = dc
+		}
+		switch class {
+		case Internal:
+			dc.Internal++
+			acc.internal[ev.day]++
+			if ou == trace.OriginXiaonei {
+				accX.internal[ev.day]++
+			} else {
+				accQ.internal[ev.day]++
+			}
+		case External:
+			dc.External++
+			acc.external[ev.day]++
+			accX.external[ev.day]++
+			accQ.external[ev.day]++
+		case NewUser:
+			dc.NewUsers++
+			acc.newu[ev.day]++
+			if ou == trace.OriginXiaonei || ov == trace.OriginXiaonei {
+				accX.newu[ev.day]++
+			}
+			if ou == trace.OriginFiveQ || ov == trace.OriginFiveQ {
+				accQ.newu[ev.day]++
+			}
+		}
+		// Activity coverage for pre-merge endpoints.
+		for _, pair := range [2][2]graph.NodeID{{ev.u, ev.v}, {ev.v, ev.u}} {
+			u, v := pair[0], pair[1]
+			o := origin[u]
+			if o == trace.OriginNew {
+				continue
+			}
+			side := sideOf(o)
+			mark(covers[side][0], u, ev.day)
+			switch {
+			case origin[v] == trace.OriginNew:
+				mark(covers[side][1], u, ev.day)
+			case origin[v] == o:
+				mark(covers[side][2], u, ev.day)
+			default:
+				mark(covers[side][3], u, ev.day)
+			}
+		}
+	}
+
+	// Fig 8c series.
+	for _, dc := range counts {
+		res.EdgesPerDay = append(res.EdgesPerDay, *dc)
+	}
+	sort.Slice(res.EdgesPerDay, func(i, j int) bool { return res.EdgesPerDay[i].Day < res.EdgesPerDay[j].Day })
+
+	// Fig 8a/8b curves from the coverage difference arrays.
+	makeActive := func(side int, total int) []ActiveDay {
+		if total == 0 {
+			return nil
+		}
+		cum := [4]int64{}
+		var out []ActiveDay
+		for d := int32(0); d <= lastDay; d++ {
+			for k := 0; k < 4; k++ {
+				cum[k] += covers[side][k].diff[d]
+			}
+			da := d - mergeDay
+			if da < 0 || da > horizon {
+				continue
+			}
+			out = append(out, ActiveDay{
+				DaysAfter: da,
+				All:       100 * float64(cum[0]) / float64(total),
+				New:       100 * float64(cum[1]) / float64(total),
+				Internal:  100 * float64(cum[2]) / float64(total),
+				External:  100 * float64(cum[3]) / float64(total),
+			})
+		}
+		return out
+	}
+	res.ActiveXiaonei = makeActive(0, res.XiaoneiUsers)
+	res.ActiveFiveQ = makeActive(1, res.FiveQUsers)
+	if len(res.ActiveXiaonei) > 0 {
+		res.InactiveAtMergeXiaonei = 1 - res.ActiveXiaonei[0].All/100
+	}
+	if len(res.ActiveFiveQ) > 0 {
+		res.InactiveAtMergeFiveQ = 1 - res.ActiveFiveQ[0].All/100
+	}
+
+	// Fig 9a/9b ratio series (windowed sums).
+	makeRatios := func(a ratioAcc) []RatioDay {
+		var out []RatioDay
+		w := s.opt.RatioWindow
+		var sumI, sumE, sumN int64
+		for d := mergeDay + 1; d <= lastDay; d++ {
+			sumI += a.internal[d]
+			sumE += a.external[d]
+			sumN += a.newu[d]
+			if old := d - w; old > mergeDay {
+				sumI -= a.internal[old]
+				sumE -= a.external[old]
+				sumN -= a.newu[old]
+			}
+			rd := RatioDay{Day: d - mergeDay}
+			if sumE > 0 {
+				rd.IntOverExt = float64(sumI) / float64(sumE)
+				rd.NewOverExt = float64(sumN) / float64(sumE)
+				rd.HasIntExt = true
+				rd.HasNewExt = true
+			}
+			out = append(out, rd)
+		}
+		return out
+	}
+	res.RatiosXiaonei = makeRatios(accX)
+	res.RatiosFiveQ = makeRatios(accQ)
+	res.RatiosBoth = makeRatios(acc)
+
+	res.Distances = s.distances
+	s.res = res
+	return nil
+}
+
+// Result returns the assembled §5 analysis after a successful Finish; nil
+// before.
+func (s *Stage) Result() *Result { return s.res }

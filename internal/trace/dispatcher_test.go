@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// dispatcherTrace has a three-day gap (days 1–3 empty) and a trailing
+// same-day edge, to exercise empty-day delivery.
+func dispatcherTrace() []Event {
+	return []Event{
+		{Kind: AddNode, Day: 0, U: 0},
+		{Kind: AddNode, Day: 0, U: 1},
+		{Kind: AddNode, Day: 4, U: 2},
+		{Kind: AddEdge, Day: 4, U: 0, V: 1},
+		{Kind: AddEdge, Day: 6, U: 1, V: 2},
+	}
+}
+
+func TestDispatcherFansOutToAllSubscribers(t *testing.T) {
+	d := &Dispatcher{}
+	type seen struct {
+		events []Event
+		days   []int32
+	}
+	subs := make([]seen, 3)
+	for i := range subs {
+		i := i
+		d.Subscribe(Hooks{
+			OnEvent:  func(st *State, ev Event) { subs[i].events = append(subs[i].events, ev) },
+			OnDayEnd: func(st *State, day int32) { subs[i].days = append(subs[i].days, day) },
+		})
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	st, err := d.Replay(dispatcherTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph.NumNodes() != 3 || st.Graph.NumEdges() != 2 {
+		t.Fatalf("state: %d nodes %d edges", st.Graph.NumNodes(), st.Graph.NumEdges())
+	}
+	wantDays := []int32{0, 1, 2, 3, 4, 5, 6}
+	for i, s := range subs {
+		if !reflect.DeepEqual(s.events, dispatcherTrace()) {
+			t.Errorf("subscriber %d: events = %v", i, s.events)
+		}
+		if !reflect.DeepEqual(s.days, wantDays) {
+			t.Errorf("subscriber %d: day ends = %v, want %v (empty days must fire)", i, s.days, wantDays)
+		}
+	}
+}
+
+func TestDispatcherPartialSubscribers(t *testing.T) {
+	d := &Dispatcher{}
+	var events, days int
+	d.Subscribe(Hooks{OnEvent: func(st *State, ev Event) { events++ }})
+	d.Subscribe(Hooks{OnDayEnd: func(st *State, day int32) { days++ }})
+	d.Subscribe(Hooks{}) // fully nil subscriber must be tolerated
+	if _, err := d.Replay(dispatcherTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if events != 5 || days != 7 {
+		t.Fatalf("events = %d, day ends = %d", events, days)
+	}
+}
+
+func TestDispatcherSubscriptionOrder(t *testing.T) {
+	d := &Dispatcher{}
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		d.Subscribe(Hooks{OnDayEnd: func(st *State, day int32) {
+			if day == 0 {
+				order = append(order, i)
+			}
+		}})
+	}
+	if _, err := d.Replay(dispatcherTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("dispatch order = %v", order)
+	}
+}
+
+func TestOnReplayPassHookCounts(t *testing.T) {
+	prev := OnReplayPass
+	defer func() { OnReplayPass = prev }()
+	var passes int
+	OnReplayPass = func() { passes++ }
+	if _, err := Replay(dispatcherTrace(), Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(4, 4)
+	if err := ReplayInto(st, dispatcherTrace(), Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 {
+		t.Fatalf("passes = %d, want 2", passes)
+	}
+}

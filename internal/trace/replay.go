@@ -53,6 +53,14 @@ type Hooks struct {
 	OnDayEnd func(st *State, day int32)
 }
 
+// OnReplayPass, when non-nil, is invoked once at the start of every
+// ReplayInto pass (and therefore every Replay). It is a test instrumentation
+// point: equivalence and pass-counting tests install an atomic counter here
+// to assert how many full passes over a trace an analysis makes. Because
+// passes may run on concurrent goroutines (the δ-sweep fan-out), installed
+// hooks must be safe for concurrent use.
+var OnReplayPass func()
+
 // Replay streams events through a fresh State, firing hooks, and returns the
 // final state. The trace must be Validate()-clean; replay stops at the first
 // application error otherwise.
@@ -67,6 +75,9 @@ func Replay(events []Event, hooks Hooks) (*State, error) {
 // ReplayInto is Replay over a caller-provided state, allowing resumed or
 // segmented replays.
 func ReplayInto(st *State, events []Event, hooks Hooks) error {
+	if OnReplayPass != nil {
+		OnReplayPass()
+	}
 	day := st.Day
 	for _, ev := range events {
 		for day < ev.Day {
@@ -86,4 +97,49 @@ func ReplayInto(st *State, events []Event, hooks Hooks) error {
 		hooks.OnDayEnd(st, day)
 	}
 	return nil
+}
+
+// Dispatcher fans one replay pass out to any number of subscribers, so N
+// analyses can share a single pass over the trace (and a single incrementally
+// maintained State) instead of replaying N times. Subscribers receive every
+// OnEvent and OnDayEnd callback in subscription order; OnDayEnd fires for
+// empty days exactly as in a single-subscriber Replay.
+type Dispatcher struct {
+	subs []Hooks
+}
+
+// Subscribe registers one subscriber's hooks. Nil hook fields are skipped at
+// dispatch time, so partial subscribers (day-end only, event only) are cheap.
+func (d *Dispatcher) Subscribe(h Hooks) {
+	d.subs = append(d.subs, h)
+}
+
+// Len returns the number of subscribers.
+func (d *Dispatcher) Len() int { return len(d.subs) }
+
+// Hooks returns combined hooks that forward each callback to every
+// subscriber, for use with Replay or ReplayInto.
+func (d *Dispatcher) Hooks() Hooks {
+	return Hooks{
+		OnEvent: func(st *State, ev Event) {
+			for _, h := range d.subs {
+				if h.OnEvent != nil {
+					h.OnEvent(st, ev)
+				}
+			}
+		},
+		OnDayEnd: func(st *State, day int32) {
+			for _, h := range d.subs {
+				if h.OnDayEnd != nil {
+					h.OnDayEnd(st, day)
+				}
+			}
+		},
+	}
+}
+
+// Replay runs one pass over events, dispatching to all subscribers, and
+// returns the final shared state.
+func (d *Dispatcher) Replay(events []Event) (*State, error) {
+	return Replay(events, d.Hooks())
 }

@@ -51,8 +51,15 @@ func Generate(cfg GenConfig) (*Trace, error) { return gen.Generate(cfg) }
 // DefaultPipeline returns the paper's analysis parameters at scaled sizes.
 func DefaultPipeline() Pipeline { return core.DefaultConfig() }
 
-// Run executes the multi-scale pipeline over a trace.
+// Run executes the multi-scale pipeline over a trace on the single-pass
+// streaming engine: all analyses share one replay, and the δ-sweep fans
+// out across a bounded worker pool (see DESIGN.md §4).
 func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
+
+// RunBatch executes the pipeline through the per-analysis batch entry
+// points (one replay per analysis). It produces identical results to Run
+// and exists as the reference implementation the engine is tested against.
+func RunBatch(tr *Trace, cfg Pipeline) (*Result, error) { return core.RunBatch(tr, cfg) }
 
 // GenerateAndRun is the one-call variant.
 func GenerateAndRun(gcfg GenConfig, cfg Pipeline) (*Trace, *Result, error) {
