@@ -11,6 +11,9 @@
 package repro
 
 import (
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -201,6 +204,93 @@ func BenchmarkPipelineBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Out-of-core data plane: replay memory at million-node scale ---
+
+// liveHeapMB forces a GC and returns the live heap in MB; keep holds the
+// replay's outputs (and, on the slice path, the event slice) alive across
+// the measurement so it reflects what each data plane must keep resident.
+func liveHeapMB(keep ...any) float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, k := range keep {
+		runtime.KeepAlive(k)
+	}
+	return float64(ms.HeapAlloc) / 1e6
+}
+
+// BenchmarkLargeReplayMemory is the data-plane tentpole's memory claim on
+// the million-node preset: replaying from a disk-backed FileSource keeps
+// the live heap at O(state) — the graph plus per-node columns — while the
+// materializing slice path pays O(events) on top (16 bytes × ~10⁷ events
+// held for the whole replay). The trace is stream-generated to disk once,
+// outside any timer; run with e.g.
+//
+//	go test -bench=LargeReplayMemory -benchtime=1x
+//
+// (-short swaps in the ~10⁵-node default preset). The GenStream subtest
+// replays straight from the generator through a trace.Sink — no slice, no
+// file — as the third data plane.
+func BenchmarkLargeReplayMemory(b *testing.B) {
+	cfg := gen.LargeConfig()
+	if testing.Short() {
+		cfg = gen.DefaultConfig()
+	}
+	path := filepath.Join(b.TempDir(), "large.trace")
+	meta, err := gen.GenerateToFile(cfg, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := meta.Nodes + meta.Edges
+	b.Logf("trace: %d nodes, %d edges (%d events on disk)", meta.Nodes, meta.Edges, events)
+
+	b.Run("FileSource", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src, err := trace.OpenFileSource(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := trace.ReplaySource(src, trace.Hooks{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(liveHeapMB(st), "live-MB")
+			b.ReportMetric(float64(st.Graph.NumEdges()), "edges")
+		}
+	})
+	b.Run("Slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := trace.Replay(tr.Events, trace.Hooks{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(liveHeapMB(st, tr), "live-MB")
+			b.ReportMetric(float64(st.Graph.NumEdges()), "edges")
+		}
+	})
+	b.Run("GenStream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := trace.NewState(int(meta.Nodes), int(meta.Edges))
+			sink := trace.NewSink(st, trace.Hooks{})
+			if _, err := gen.GenerateStream(cfg, sink.Push); err != nil {
+				b.Fatal(err)
+			}
+			sink.Finish()
+			b.ReportMetric(liveHeapMB(st), "live-MB")
+			b.ReportMetric(float64(st.Graph.NumEdges()), "edges")
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md §5) ---

@@ -1,13 +1,15 @@
 // Command figures regenerates the paper's figure data end to end: it
-// generates a synthetic trace (or loads one), runs the multi-scale
-// pipeline, and prints the requested panel(s) as TSV.
+// generates a synthetic trace (or streams one off disk), runs the
+// multi-scale pipeline, and prints the requested panel(s) as TSV.
 //
 // Usage:
 //
 //	figures -fig fig3c                  # one panel on the small preset
 //	figures -fig all -preset default    # every panel at the default scale
 //	figures -fig fig4a -sweep 0.01,0.1  # the δ sweep panels
-//	figures -trace renren.trace -fig fig8c
+//	figures -preset large -encode renren.trace   # stream-generate to disk
+//	figures -trace renren.trace -fig fig8c       # replay off disk, O(state) memory
+//	figures -fig fig1a -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,43 +32,64 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	fig := flag.String("fig", "all", "figure id (e.g. fig3c) or \"all\"")
-	preset := flag.String("preset", "small", "generator preset when no trace file is given: small or default")
-	tracePath := flag.String("trace", "", "optional trace file (overrides -preset)")
+	preset := flag.String("preset", "small", "generator preset when no trace file is given: small, default, or large")
+	tracePath := flag.String("trace", "", "optional trace file, replayed off disk (overrides -preset)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	sweep := flag.String("sweep", "", "comma-separated δ values; required for fig4*")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
+	encode := flag.String("encode", "", "stream the generated trace to this file and exit (no analysis)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the pipeline run to this file")
 	flag.Parse()
 
-	var tr *trace.Trace
-	var err error
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			log.Fatalf("open: %v", err)
-		}
-		tr, err = trace.Decode(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("decode: %v", err)
-		}
-	} else {
+	genConfig := func() gen.Config {
 		var cfg gen.Config
 		switch *preset {
 		case "small":
 			cfg = gen.SmallConfig()
 		case "default":
 			cfg = gen.DefaultConfig()
+		case "large":
+			cfg = gen.LargeConfig()
 		default:
-			log.Fatalf("unknown preset %q", *preset)
+			log.Fatalf("unknown preset %q (want small, default, or large)", *preset)
 		}
 		cfg.Seed = *seed
-		tr, err = gen.Generate(cfg)
+		return cfg
+	}
+
+	// Encode mode: generate → stream to disk, never materializing the
+	// event slice; analysis happens later from the file.
+	if *encode != "" {
+		if *tracePath != "" {
+			log.Fatal("-encode generates a trace; it cannot be combined with -trace")
+		}
+		meta, err := gen.GenerateToFile(genConfig(), *encode)
+		if err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+		fmt.Printf("wrote %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
+			*encode, meta.Days, meta.Nodes, meta.Xiaonei, meta.FiveQ, meta.NewUsers, meta.Edges, meta.MergeDay)
+		return
+	}
+
+	var src trace.MetaSource
+	if *tracePath != "" {
+		fs, err := trace.OpenFileSource(*tracePath)
+		if err != nil {
+			log.Fatalf("open trace: %v", err)
+		}
+		src = fs
+	} else {
+		tr, err := gen.Generate(genConfig())
 		if err != nil {
 			log.Fatalf("generate: %v", err)
 		}
+		src = tr.Source()
 	}
+	meta := src.Meta()
 	log.Printf("trace: %d nodes, %d edges, %d days, merge day %d",
-		tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.Days, tr.Meta.MergeDay)
+		meta.Nodes, meta.Edges, meta.Days, meta.MergeDay)
 
 	wanted := map[string]bool{}
 	if *fig == "all" {
@@ -97,7 +122,7 @@ func main() {
 	cfg.SkipCommunity = !need("fig4", "fig5", "fig6", "fig7")
 	cfg.SkipMerge = !need("fig8", "fig9")
 	if !cfg.SkipCommunity {
-		d := tr.Meta.Days
+		d := meta.Days
 		grid := func(x int32) int32 {
 			if x < cfg.Community.StartDay {
 				return cfg.Community.StartDay
@@ -118,10 +143,45 @@ func main() {
 		cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
 	}
 
-	res, err := core.Run(tr, cfg)
+	// Profiling brackets the pipeline run explicitly rather than via
+	// defers: log.Fatalf exits without running defers, which would leave
+	// a truncated CPU profile on exactly the failing runs one wants to
+	// inspect.
+	var cpuOut *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpuOut = f
+	}
+
+	res, err := core.RunSource(src, cfg)
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuOut.Close(); cerr != nil {
+			log.Printf("cpuprofile: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
+	}
+
 	for _, id := range core.AllFigures {
 		if !wanted[id] {
 			continue

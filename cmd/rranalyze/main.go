@@ -37,23 +37,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*tracePath)
+	// The trace is never loaded: every analysis pass streams it off disk
+	// through a FileSource cursor, so memory stays O(state).
+	src, err := trace.OpenFileSource(*tracePath)
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	tr, err := trace.Decode(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("decode: %v", err)
-	}
-	log.Printf("loaded %s: %d nodes, %d edges, %d days, merge day %d",
-		*tracePath, tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.Days, tr.Meta.MergeDay)
+	meta := src.Meta()
+	log.Printf("opened %s: %d nodes, %d edges, %d days, merge day %d",
+		*tracePath, meta.Nodes, meta.Edges, meta.Days, meta.MergeDay)
 
 	cfg := core.DefaultConfig()
 	if *snapshotEvery > 0 {
 		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
 	}
-	cfg.Community.SizeDistDays = parseDays(*distDays, tr.Meta.Days, cfg.Community.StartDay, cfg.Community.SnapshotEvery)
+	cfg.Community.SizeDistDays = parseDays(*distDays, meta.Days, cfg.Community.StartDay, cfg.Community.SnapshotEvery)
 	for _, s := range strings.Split(*skip, ",") {
 		switch strings.TrimSpace(s) {
 		case "metrics":
@@ -79,7 +77,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Run(tr, cfg)
+	res, err := core.RunSource(src, cfg)
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}

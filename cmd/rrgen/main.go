@@ -11,17 +11,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/gen"
-	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rrgen: ")
 
-	preset := flag.String("preset", "default", "config preset: default (771 days, ~10^5 nodes) or small")
+	preset := flag.String("preset", "default", "config preset: default (771 days, ~10^5 nodes), small, or large (~10^6 nodes)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	days := flag.Int("days", 0, "override trace length in days (0 = preset value)")
 	maxNodes := flag.Int("max-nodes", 0, "override node cap (0 = preset value)")
@@ -35,8 +33,10 @@ func main() {
 		cfg = gen.DefaultConfig()
 	case "small":
 		cfg = gen.SmallConfig()
+	case "large":
+		cfg = gen.LargeConfig()
 	default:
-		log.Fatalf("unknown preset %q (want default or small)", *preset)
+		log.Fatalf("unknown preset %q (want default, small, or large)", *preset)
 	}
 	cfg.Seed = *seed
 	if *days > 0 {
@@ -52,22 +52,13 @@ func main() {
 		cfg.Merge = nil
 	}
 
-	tr, err := gen.Generate(cfg)
+	// Stream the simulation straight into the trace file: the event
+	// slice is never materialized, so the large preset's ~10^7 events
+	// cost generator-state memory and one file.
+	m, err := gen.GenerateToFile(cfg, *out)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatalf("create: %v", err)
-	}
-	defer f.Close()
-	if err := trace.Encode(f, tr); err != nil {
-		log.Fatalf("encode: %v", err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close: %v", err)
-	}
-	m := tr.Meta
 	fmt.Printf("wrote %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
 		*out, m.Days, m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, m.MergeDay)
 }

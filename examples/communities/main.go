@@ -1,15 +1,16 @@
 // communities reproduces the §4 workflow (Figs 4–7): incremental Louvain
 // with similarity-based tracking, community lifecycle statistics, SVM merge
-// prediction, and the impact of community membership on users.
+// prediction, and the impact of community membership on users — all driven
+// through the core pipeline over a trace Source, the same data plane the
+// figure harness uses.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/community"
+	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/svm"
 	"repro/internal/tracking"
 )
 
@@ -23,11 +24,18 @@ func main() {
 	fmt.Printf("trace: %d nodes, %d edges, merge day %d\n",
 		tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.MergeDay)
 
-	opt := community.DefaultOptions() // δ=0.04, 3-day snapshots, min size 10
-	res, err := community.Run(tr.Events, opt)
+	// Run only the §4 stages of the pipeline over the trace's Source;
+	// community detection, user impact, and the SVM merge prediction all
+	// feed from the one shared streaming pass.
+	cfg := core.DefaultConfig() // community defaults: δ=0.04, 3-day snapshots, min size 10
+	cfg.SkipMetrics = true
+	cfg.SkipEvolution = true
+	cfg.SkipMerge = true
+	pres, err := core.RunSource(tr.Source(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := pres.Community
 
 	// Fig 4a: community structure strength.
 	lastStat := res.Stats[len(res.Stats)-1]
@@ -69,18 +77,17 @@ func main() {
 		fmt.Printf("fig6c: %.0f%% of merges chose the strongest-tie destination (paper: 99%%)\n", 100*frac)
 	}
 
-	// Fig 6b: SVM merge prediction.
-	ds := community.BuildMergeDataset(res, tr.Meta.MergeDay)
-	bins, overall, err := community.EvaluateMergePrediction(ds, 20, svm.Options{Seed: 7})
-	if err != nil {
-		log.Printf("merge prediction skipped: %v", err)
+	// Fig 6b: SVM merge prediction (evaluated by the pipeline).
+	if pres.MergeOverall.N == 0 {
+		log.Print("merge prediction skipped: dataset too small to split")
 	} else {
 		fmt.Printf("fig6b: overall accuracy %.0f%% (pos %.0f%%, neg %.0f%%) on %d held-out samples, %d age bins\n",
-			100*overall.Accuracy, 100*overall.PosAccuracy, 100*overall.NegAccuracy, overall.N, len(bins))
+			100*pres.MergeOverall.Accuracy, 100*pres.MergeOverall.PosAccuracy,
+			100*pres.MergeOverall.NegAccuracy, pres.MergeOverall.N, len(pres.MergeBins))
 	}
 
 	// Fig 7: impact of community membership on users.
-	ui := community.AnalyzeUsers(tr.Events, res, nil)
+	ui := pres.Users
 	fmt.Printf("fig7a: %d community-user gaps vs %d non-community gaps\n",
 		len(ui.CommunityGaps), len(ui.NonCommunityGaps))
 	for name, lifetimes := range ui.LifetimesBySize {

@@ -1,31 +1,61 @@
 // netmerge reproduces the §5 workflow (Figs 8–9): the Xiaonei/5Q merge —
 // duplicate-account estimation, edge-type dynamics, and the collapse of the
-// distance between the two networks.
+// distance between the two networks. It demonstrates the out-of-core data
+// plane end to end: the trace is stream-generated straight to disk and the
+// pipeline replays it through a FileSource, so the event stream is never
+// resident in memory.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/osnmerge"
+	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
-
-	cfg := gen.SmallConfig()
-	tr, err := gen.Generate(cfg)
-	if err != nil {
+	if err := run(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// run keeps error handling deferred-friendly: the temp dir is removed on
+// every exit path (log.Fatal in main would skip defers).
+func run() error {
+	dir, err := os.MkdirTemp("", "netmerge")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "renren.trace")
+
+	// Stream-generate: simulation events go straight into the encoder.
+	meta, err := gen.GenerateToFile(gen.SmallConfig(), path)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("trace: %d xiaonei + %d 5q users at the merge (day %d), %d later arrivals\n",
-		tr.Meta.Xiaonei, tr.Meta.FiveQ, tr.Meta.MergeDay, tr.Meta.NewUsers)
+		meta.Xiaonei, meta.FiveQ, meta.MergeDay, meta.NewUsers)
 
-	res, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, osnmerge.DefaultOptions())
+	// Stream-replay: the §5 stage consumes the file through a cursor.
+	src, err := trace.OpenFileSource(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	cfg := core.DefaultConfig()
+	cfg.SkipMetrics = true
+	cfg.SkipEvolution = true
+	cfg.SkipCommunity = true
+	pres, err := core.RunSource(src, cfg)
+	if err != nil {
+		return err
+	}
+	res := pres.Merge
 	fmt.Printf("activity threshold: %d days (the paper's t=94 analogue)\n", res.ActivityThreshold)
 
 	// Fig 8a/8b: duplicate accounts.
@@ -59,4 +89,5 @@ func main() {
 				p.DaysAfter, p.XiaoneiTo5Q, p.FiveQToXiaonei)
 		}
 	}
+	return nil
 }

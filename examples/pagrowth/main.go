@@ -1,12 +1,14 @@
 // pagrowth reproduces the §3 workflow (Figs 2–3): how edge creation behaves
 // in absolute time and how the strength of preferential attachment decays
 // as the network grows — including the control run with the decay disabled.
+// Both runs go through the core pipeline over the trace's Source.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"repro/internal/core"
 	"repro/internal/evolution"
 	"repro/internal/gen"
 )
@@ -18,11 +20,20 @@ func analyze(name string, cfg gen.Config) {
 	}
 	fmt.Printf("--- %s: %d nodes, %d edges ---\n", name, tr.Meta.Nodes, tr.Meta.Edges)
 
-	// Fig 2: time dynamics of edge creation.
-	ev, err := evolution.Analyze(tr.Events, evolution.DefaultOptions())
+	// Run only the §3 stages over the trace's Source; Fig 2 and Fig 3
+	// share the pipeline's one streaming pass.
+	pcfg := core.DefaultConfig()
+	pcfg.SkipMetrics = true
+	pcfg.SkipCommunity = true
+	pcfg.SkipMerge = true
+	pcfg.Alpha = evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 3}
+	res, err := core.RunSource(tr.Source(), pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Fig 2: time dynamics of edge creation.
+	ev := res.Evolution
 	m1 := ev.InterArrival[0]
 	fmt.Printf("fig2a: month-1 inter-arrival PDF exponent %.2f over %d gaps (paper: 1.8-2.5)\n",
 		m1.Gamma, m1.Samples)
@@ -40,12 +51,7 @@ func analyze(name string, cfg gen.Config) {
 	}
 
 	// Fig 3: strength of preferential attachment over time.
-	al, err := evolution.AnalyzeAlpha(tr.Events, evolution.AlphaOptions{
-		Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 3,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	al := res.Alpha
 	s := al.Samples
 	fmt.Printf("fig3c: alpha(higher) %.3f -> %.3f, alpha(random) %.3f -> %.3f, final gap %.2f\n",
 		s[0].AlphaHigher, s[len(s)-1].AlphaHigher,

@@ -89,8 +89,14 @@ var ErrNoSnapshots = errors.New("community: no snapshots taken")
 // snapshot schedule. It is the batch entry point over the streaming Stage,
 // which the engine also feeds from its single shared pass.
 func Run(events []trace.Event, opt Options) (*Result, error) {
+	return RunSource(trace.SliceSource(events), opt)
+}
+
+// RunSource is Run over a re-openable event source; it consumes exactly
+// one pass. The δ-sweep opens one concurrent pass per δ through here.
+func RunSource(src trace.Source, opt Options) (*Result, error) {
 	s := NewStage(opt)
-	if _, err := trace.Replay(events, trace.Hooks{OnDayEnd: s.OnDayEnd}); err != nil {
+	if _, err := trace.ReplaySource(src, trace.Hooks{OnDayEnd: s.OnDayEnd}); err != nil {
 		return nil, err
 	}
 	if err := s.Finish(nil); err != nil {

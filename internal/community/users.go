@@ -44,10 +44,39 @@ type UserImpact struct {
 // replay stops at the first invalid event and the impact covers the valid
 // prefix.
 func AnalyzeUsers(events []trace.Event, res *Result, buckets []SizeBucket) *UserImpact {
+	// A slice source cannot fail at the data-plane level.
+	ui, _ := AnalyzeUsersSource(trace.SliceSource(events), res, buckets)
+	return ui
+}
+
+// AnalyzeUsersSource is AnalyzeUsers over a re-openable event source.
+// Invalid events are tolerated exactly like AnalyzeUsers (the impact
+// covers the valid prefix), but data-plane failures — the source not
+// opening, a corrupt or truncated stream — are surfaced: silently
+// reporting an empty impact for an unreadable trace would be wrong.
+func AnalyzeUsersSource(src trace.Source, res *Result, buckets []SizeBucket) (*UserImpact, error) {
 	s := NewUsersStage(buckets, func() *Result { return res })
-	// The state is valid up to the first replay error, and UsersStage's
-	// Finish never fails.
-	st, _ := trace.Replay(events, trace.Hooks{OnEvent: s.OnEvent})
+	st := trace.NewState(1024, 4096)
+	cur, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	sink := trace.NewSink(st, trace.Hooks{OnEvent: s.OnEvent})
+	for {
+		ev, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := sink.Push(ev); err != nil {
+			break // invalid event: keep the valid prefix
+		}
+	}
+	sink.Finish()
+	// UsersStage's Finish never fails.
 	_ = s.Finish(st)
-	return s.Impact()
+	return s.Impact(), nil
 }

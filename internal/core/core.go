@@ -154,11 +154,31 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.Events) == 0 {
 		return nil, ErrEmptyTrace
 	}
+	return runSource(trace.SliceSource(tr.Events), tr.Meta, cfg)
+}
+
+// RunSource is Run over a re-openable event source — the out-of-core
+// entry point. With a disk-backed trace.FileSource the only O(events)
+// artifact is the file itself: the shared streaming pass and every
+// δ-sweep pass each open their own cursor, so resident memory is the live
+// trace.State plus per-stage accumulators (O(state), asserted by the
+// replay-memory benchmark on gen.LargeConfig). The source's Meta gates
+// the merge stage and sizes the state, exactly as a Trace's Meta does.
+func RunSource(src trace.MetaSource, cfg Config) (*Result, error) {
+	meta := src.Meta()
+	if meta.Nodes == 0 && meta.Edges == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return runSource(src, meta, cfg)
+}
+
+// runSource is the engine-path implementation shared by Run and RunSource.
+func runSource(src trace.Source, meta trace.Meta, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Meta: tr.Meta}
+	res := &Result{Meta: meta}
 
 	eng := engine.New()
-	eng.Hint(int(tr.Meta.Nodes), int(tr.Meta.Edges))
+	eng.Hint(int(meta.Nodes), int(meta.Edges))
 
 	var ms *metrics.Stage
 	if !cfg.SkipMetrics {
@@ -186,14 +206,15 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		eng.Subscribe(cs, us)
 	}
 	var os *osnmerge.Stage
-	if !cfg.SkipMerge && tr.Meta.MergeDay >= 0 {
-		os = osnmerge.NewStage(tr.Meta.MergeDay, cfg.Merge)
+	if !cfg.SkipMerge && meta.MergeDay >= 0 {
+		os = osnmerge.NewStage(meta.MergeDay, cfg.Merge)
 		eng.Subscribe(os)
 	}
 
 	// The δ-sweep needs one community pipeline per δ with its own
 	// incremental Louvain state, so the runs cannot share the engine's
-	// pass; they fan out on the pool while the main pass runs here.
+	// pass; they fan out on the pool while the main pass runs here, each
+	// re-opening the source for a concurrent pass of its own.
 	pool := engine.NewPool(0)
 	sweep := make([]*DeltaRun, len(cfg.DeltaSweep))
 	if !cfg.SkipCommunity {
@@ -201,7 +222,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			opt := cfg.Community
 			opt.Delta = d
 			pool.Go(func() error {
-				dr, err := community.Run(tr.Events, opt)
+				dr, err := community.RunSource(src, opt)
 				if err != nil {
 					return fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
 				}
@@ -217,13 +238,13 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 
 	var err error
 	if eng.Stages() > 0 {
-		_, err = eng.Run(tr.Events)
+		_, err = eng.RunSource(src)
 	}
 	if err == nil && cs != nil {
 		// The SVM evaluation depends on the community stage's result but
 		// not on the other finishers; it joins the concurrent fan-out.
 		pool.Go(func() error {
-			applyMergePrediction(res, cs.Result(), tr.Meta.MergeDay, cfg.Seed)
+			applyMergePrediction(res, cs.Result(), meta.MergeDay, cfg.Seed)
 			return nil
 		})
 	}
@@ -268,38 +289,60 @@ func RunBatch(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.Events) == 0 {
 		return nil, ErrEmptyTrace
 	}
+	return runBatchSource(trace.SliceSource(tr.Events), tr.Meta, cfg)
+}
+
+// RunBatchSource is RunBatch over a re-openable event source: every
+// analysis re-opens the source for a private pass (8+ passes on a full
+// configuration), trading passes for per-stage isolation exactly like
+// RunBatch does.
+func RunBatchSource(src trace.MetaSource, cfg Config) (*Result, error) {
+	meta := src.Meta()
+	if meta.Nodes == 0 && meta.Edges == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return runBatchSource(src, meta, cfg)
+}
+
+// runBatchSource is the batch-path implementation shared by RunBatch and
+// RunBatchSource.
+func runBatchSource(src trace.Source, meta trace.Meta, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Meta: tr.Meta}
+	res := &Result{Meta: meta}
 
 	if !cfg.SkipMetrics {
-		if err := runMetrics(tr, cfg, res); err != nil {
+		if err := runMetrics(src, cfg, res); err != nil {
 			return nil, err
 		}
 	}
 	if !cfg.SkipEvolution {
-		ev, err := evolution.Analyze(tr.Events, cfg.Evolution)
+		ev, err := evolution.AnalyzeSource(src, cfg.Evolution)
 		if err != nil {
 			return nil, fmt.Errorf("core: evolution: %w", err)
 		}
 		res.Evolution = ev
-		al, err := evolution.AnalyzeAlpha(tr.Events, cfg.Alpha)
+		al, err := evolution.AnalyzeAlphaSource(src, cfg.Alpha)
 		if err != nil {
 			return nil, fmt.Errorf("core: alpha: %w", err)
 		}
 		res.Alpha = al
 	}
 	if !cfg.SkipCommunity {
-		cr, err := community.Run(tr.Events, cfg.Community)
+		cr, err := community.RunSource(src, cfg.Community)
 		if err != nil {
 			return nil, fmt.Errorf("core: community: %w", err)
 		}
 		res.Community = cr
-		res.Users = community.AnalyzeUsers(tr.Events, cr, nil)
-		applyMergePrediction(res, cr, tr.Meta.MergeDay, cfg.Seed)
+		ui, err := community.AnalyzeUsersSource(src, cr, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: users: %w", err)
+		}
+		res.Users = ui
+		applyMergePrediction(res, cr, meta.MergeDay, cfg.Seed)
 		for _, d := range cfg.DeltaSweep {
 			opt := cfg.Community
 			opt.Delta = d
-			dr, err := community.Run(tr.Events, opt)
+			dr, err := community.RunSource(src, opt)
 			if err != nil {
 				return nil, fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
 			}
@@ -310,8 +353,8 @@ func RunBatch(tr *trace.Trace, cfg Config) (*Result, error) {
 			res.DeltaSweep = append(res.DeltaSweep, run)
 		}
 	}
-	if !cfg.SkipMerge && tr.Meta.MergeDay >= 0 {
-		mr, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, cfg.Merge)
+	if !cfg.SkipMerge && meta.MergeDay >= 0 {
+		mr, err := osnmerge.AnalyzeSource(src, meta.MergeDay, cfg.Merge)
 		if err != nil {
 			return nil, fmt.Errorf("core: merge: %w", err)
 		}
@@ -323,11 +366,11 @@ func RunBatch(tr *trace.Trace, cfg Config) (*Result, error) {
 // runMetrics computes the Fig 1 series in one replay pass of its own,
 // independent of the streaming metrics.Stage, so the batch reference path
 // stays a genuinely separate implementation.
-func runMetrics(tr *trace.Trace, cfg Config, res *Result) error {
+func runMetrics(src trace.Source, cfg Config, res *Result) error {
 	rng := stats.NewRand(cfg.Seed)
 	var prevNodes, prevEdges int64
 	var addedNodes, addedEdges int64
-	_, err := trace.Replay(tr.Events, trace.Hooks{
+	_, err := trace.ReplaySource(src, trace.Hooks{
 		OnEvent: func(st *trace.State, ev trace.Event) {
 			switch ev.Kind {
 			case trace.AddNode:

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -109,17 +111,69 @@ func TestEngineMatchesBatch(t *testing.T) {
 		}
 	}
 
+	compareAllFigures(t, "batch", engRes, batRes)
+
+	// Disk-backed variant: stream the trace to a file through the
+	// incremental Encoder and re-run the engine path from a FileSource.
+	// The figure tables must be bit-identical to the in-memory slice
+	// path — the data plane must be invisible to the analyses.
+	path := filepath.Join(t.TempDir(), "eq.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := trace.NewEncoder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetSeed(tr.Meta.Seed)
+	enc.SetMergeDay(tr.Meta.MergeDay)
+	for _, ev := range tr.Events {
+		if err := enc.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := trace.OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Meta() != tr.Meta {
+		t.Fatalf("file meta %+v != trace meta %+v", fs.Meta(), tr.Meta)
+	}
+	fileRes, err := RunSource(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileRes.Meta != engRes.Meta {
+		t.Errorf("file meta: %+v vs %+v", fileRes.Meta, engRes.Meta)
+	}
+	if fileRes.MergeOverall != engRes.MergeOverall {
+		t.Errorf("file merge overall: %+v vs %+v", fileRes.MergeOverall, engRes.MergeOverall)
+	}
+	compareAllFigures(t, "filesource", engRes, fileRes)
+}
+
+// compareAllFigures asserts bit-identical figure tables (and identical
+// figure availability) between the engine result and another pipeline run.
+func compareAllFigures(t *testing.T, label string, engRes, other *Result) {
+	t.Helper()
 	for _, id := range AllFigures {
 		engTab, engErr := engRes.Figure(id)
-		batTab, batErr := batRes.Figure(id)
-		if (engErr == nil) != (batErr == nil) {
-			t.Errorf("figure %s: engine err %v vs batch err %v", id, engErr, batErr)
+		otherTab, otherErr := other.Figure(id)
+		if (engErr == nil) != (otherErr == nil) {
+			t.Errorf("figure %s: engine err %v vs %s err %v", id, engErr, label, otherErr)
 			continue
 		}
 		if engErr != nil {
 			continue
 		}
-		compareTables(t, id, engTab, batTab)
+		compareTables(t, label+":"+id, engTab, otherTab)
 	}
 }
 

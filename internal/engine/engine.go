@@ -107,12 +107,20 @@ func (e *Engine) Stages() int { return len(e.stages) }
 // subscribed stages, then finishes each stage in subscription order. The
 // first stage error aborts with the stage's name wrapped in.
 func (e *Engine) Run(events []trace.Event) (*trace.State, error) {
+	return e.RunSource(trace.SliceSource(events))
+}
+
+// RunSource is Run over a re-openable event source, consuming exactly one
+// pass (one cursor). With a disk-backed trace.FileSource the engine's
+// resident memory is the shared State plus the stages' accumulators —
+// O(state), independent of the trace's event count.
+func (e *Engine) RunSource(src trace.Source) (*trace.State, error) {
 	d := &trace.Dispatcher{}
 	for _, s := range e.stages {
 		d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	}
 	st := trace.NewState(e.nodeHint, e.edgeHint)
-	if err := trace.ReplayInto(st, events, d.Hooks()); err != nil {
+	if err := trace.ReplaySourceInto(st, src, d.Hooks()); err != nil {
 		return st, err
 	}
 	for _, s := range e.stages {

@@ -89,13 +89,39 @@ type Result struct {
 // ErrNoEdges is returned when a trace has no edge events.
 var ErrNoEdges = errors.New("evolution: trace has no edges")
 
+// feed streams one pass of a source into a stage's event callback. The §3
+// stages never read the shared state, so no State is built — a disk-backed
+// pass costs O(1) memory here.
+func feed(src trace.Source, fn func(*trace.State, trace.Event)) error {
+	cur, err := src.Open()
+	if err != nil {
+		return err
+	}
+	for {
+		ev, ok, err := cur.Next()
+		if err != nil {
+			cur.Close()
+			return err
+		}
+		if !ok {
+			return cur.Close()
+		}
+		fn(nil, ev)
+	}
+}
+
 // Analyze runs the Fig 2 analyses over a trace. It is the batch entry
 // point: the actual computation lives in Stage, which the engine also feeds
 // from its single shared pass.
 func Analyze(events []trace.Event, opt Options) (*Result, error) {
+	return AnalyzeSource(trace.SliceSource(events), opt)
+}
+
+// AnalyzeSource is Analyze over a re-openable event source.
+func AnalyzeSource(src trace.Source, opt Options) (*Result, error) {
 	s := NewStage(opt)
-	for _, ev := range events {
-		s.OnEvent(nil, ev)
+	if err := feed(src, s.OnEvent); err != nil {
+		return nil, err
 	}
 	if err := s.Finish(nil); err != nil {
 		return nil, err
@@ -132,9 +158,14 @@ type AlphaResult struct {
 // AnalyzeAlpha measures α(t) over the trace (Fig 3). Like Analyze, it is a
 // batch wrapper over the streaming AlphaStage.
 func AnalyzeAlpha(events []trace.Event, opt AlphaOptions) (*AlphaResult, error) {
+	return AnalyzeAlphaSource(trace.SliceSource(events), opt)
+}
+
+// AnalyzeAlphaSource is AnalyzeAlpha over a re-openable event source.
+func AnalyzeAlphaSource(src trace.Source, opt AlphaOptions) (*AlphaResult, error) {
 	s := NewAlphaStage(opt)
-	for _, ev := range events {
-		s.OnEvent(nil, ev)
+	if err := feed(src, s.OnEvent); err != nil {
+		return nil, err
 	}
 	if err := s.Finish(nil); err != nil {
 		return nil, err

@@ -223,6 +223,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// LargeConfig returns the million-node out-of-core scenario: the default
+// 771-day Renren+5Q shape with the arrival processes scaled ~10×. At this
+// size the event stream (~10⁷ events) stops fitting comfortably next to
+// the analyses, which is exactly what the streaming data plane is for:
+// generate with GenerateToFile, replay with trace.OpenFileSource, and the
+// only O(events) artifact is the file (see DESIGN.md §4).
+func LargeConfig() Config {
+	c := DefaultConfig()
+	c.MaxNodes = 4_000_000
+	c.Arrival.Base = 160
+	c.Merge.FiveQArrivalBase = 250
+	return c
+}
+
 // SmallConfig returns a quick configuration (a few thousand nodes) for
 // tests and examples.
 func SmallConfig() Config {

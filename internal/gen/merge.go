@@ -39,7 +39,6 @@ func (s *sim) importNetwork(fq *sim) {
 		if comm < 0 {
 			s.commMembers = append(s.commMembers, nil)
 			s.commPA = append(s.commPA, nil)
-			s.commPA = append(s.commPA, nil)
 			comm = int32(len(s.commMembers) - 1)
 			commMap[fst.comm] = comm
 		}
@@ -56,7 +55,7 @@ func (s *sim) importNetwork(fq *sim) {
 		s.nodes = append(s.nodes, st)
 		s.commMembers[comm] = append(s.commMembers[comm], nu)
 		s.byOrigin[trace.OriginFiveQ] = append(s.byOrigin[trace.OriginFiveQ], nu)
-		s.out = append(s.out, trace.Event{Kind: trace.AddNode, Day: day, U: nu, Origin: trace.OriginFiveQ})
+		s.send(trace.Event{Kind: trace.AddNode, Day: day, U: nu, Origin: trace.OriginFiveQ})
 	}
 
 	// Import 5Q's friendship edges, all stamped with the merge day.

@@ -3,7 +3,6 @@ package gen
 import (
 	"container/heap"
 	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -50,7 +49,14 @@ type sim struct {
 	g     *graph.Graph
 	nodes []nodeState
 	queue eventHeap
-	out   []trace.Event
+
+	// emit receives every trace event as it happens; nil discards the
+	// stream (the standalone 5Q sub-simulation only matters for its final
+	// state). emitErr latches the first sink failure so the day loop can
+	// abort; emission never touches the RNG, so a discarding run is
+	// byte-identical to a recording one.
+	emit    func(trace.Event) error
+	emitErr error
 
 	pa          *graph.PASampler
 	commMembers [][]graph.NodeID // home-community member lists
@@ -78,36 +84,26 @@ func newSim(cfg Config, rng *rand.Rand) *sim {
 	return s
 }
 
-// Generate produces a full trace for cfg.
+// Generate produces a full in-memory trace for cfg. It is the
+// materializing wrapper over GenerateStream; out-of-core callers stream
+// through GenerateStream or GenerateToFile instead.
 func Generate(cfg Config) (*trace.Trace, error) {
-	if err := validateConfig(cfg); err != nil {
+	events := make([]trace.Event, 0, 1024)
+	meta, err := GenerateStream(cfg, func(ev trace.Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRand(cfg.Seed)
-	s := newSim(cfg, rng)
+	return &trace.Trace{Meta: meta, Events: events}, nil
+}
 
-	var fiveQ *sim
-	if cfg.Merge != nil {
-		// Grow the 5Q network standalone over [0, Day-FiveQStart) days of
-		// its own clock, with its own RNG stream.
-		fq := fiveQConfig(cfg)
-		fiveQ = newSim(fq, stats.NewRand(cfg.Seed+7919))
-		if err := fiveQ.run(nil); err != nil {
-			return nil, fmt.Errorf("gen: 5q sub-simulation: %w", err)
-		}
+// send forwards one event to the emit sink, latching the first error.
+func (s *sim) send(ev trace.Event) {
+	if s.emitErr == nil && s.emit != nil {
+		s.emitErr = s.emit(ev)
 	}
-	if err := s.run(fiveQ); err != nil {
-		return nil, err
-	}
-
-	tr := &trace.Trace{Events: s.out}
-	tr.Meta = trace.Summarize(s.out)
-	tr.Meta.Seed = cfg.Seed
-	tr.Meta.MergeDay = -1
-	if cfg.Merge != nil {
-		tr.Meta.MergeDay = cfg.Merge.Day
-	}
-	return tr, nil
 }
 
 // validateConfig rejects configurations that cannot run.
@@ -171,8 +167,11 @@ func (s *sim) run(fiveQ *sim) error {
 		}
 		s.spawnArrivals(day)
 		s.drainUntil(float64(day + 1))
+		if s.emitErr != nil {
+			return s.emitErr
+		}
 	}
-	return nil
+	return s.emitErr
 }
 
 // arrivalRate returns the expected number of arrivals on the given day and
@@ -263,7 +262,7 @@ func (s *sim) addNode(t float64, origin trace.Origin, actFactor float64) graph.N
 	})
 	s.commMembers[comm] = append(s.commMembers[comm], u)
 	s.byOrigin[origin] = append(s.byOrigin[origin], u)
-	s.out = append(s.out, trace.Event{Kind: trace.AddNode, Day: int32(t), U: u, Origin: origin})
+	s.send(trace.Event{Kind: trace.AddNode, Day: int32(t), U: u, Origin: origin})
 
 	// Initial friendship burst: the "finding offline friends" phase.
 	burst := poisson(s.cfg.Activity.InitialEdgesMean, s.rng)
@@ -410,7 +409,7 @@ func (s *sim) commitEdge(u, v graph.NodeID, day int32) {
 	cu, cv := s.nodes[u].comm, s.nodes[v].comm
 	s.commPA[cu] = append(s.commPA[cu], u)
 	s.commPA[cv] = append(s.commPA[cv], v)
-	s.out = append(s.out, trace.Event{Kind: trace.AddEdge, Day: day, U: u, V: v})
+	s.send(trace.Event{Kind: trace.AddEdge, Day: day, U: u, V: v})
 }
 
 // pickDestination draws a candidate destination for an edge from u.

@@ -151,11 +151,17 @@ var (
 // entry point over the streaming Stage, which the engine also feeds from
 // its single shared pass; here the stage consumes one private replay.
 func Analyze(events []trace.Event, mergeDay int32, opt Options) (*Result, error) {
+	return AnalyzeSource(trace.SliceSource(events), mergeDay, opt)
+}
+
+// AnalyzeSource is Analyze over a re-openable event source; it consumes
+// exactly one pass.
+func AnalyzeSource(src trace.Source, mergeDay int32, opt Options) (*Result, error) {
 	if mergeDay < 0 {
 		return nil, ErrNoMerge
 	}
 	s := NewStage(mergeDay, opt)
-	st, err := trace.Replay(events, trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
+	st, err := trace.ReplaySource(src, trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // File format:
@@ -19,11 +20,96 @@ import (
 //	                AddEdge: uvarint u, uvarint v
 //
 // Day deltas and dense ids keep typical traces around 5–8 bytes/event.
+//
+// The streaming Encoder emits the same format with a fixed-width header
+// (space-padded meta slot, padded-uvarint count) so Close can back-patch
+// the final counters in place; Decoder and Decode read both layouts
+// transparently.
 
 var magic = [4]byte{'R', 'R', 'T', '1'}
 
-// ErrBadMagic is returned when decoding a stream that is not a trace file.
-var ErrBadMagic = errors.New("trace: bad magic")
+// Decode hardening bounds and typed errors. The bounds reject
+// resource-exhaustion headers before any allocation; the overflow errors
+// reject events whose uvarint fields cannot fit the int32 id/day space.
+const (
+	// maxMetaLen bounds the header's JSON meta blob.
+	maxMetaLen = 1 << 20
+	// maxEventCount bounds the declared event count (~8.6G events).
+	maxEventCount = 1 << 33
+	// decodePrealloc caps how much capacity Decode trusts the header's
+	// count for; a larger (possibly lying) count grows by append instead
+	// of one huge up-front allocation.
+	decodePrealloc = 1 << 20
+	// encMetaPad is the fixed, space-padded meta slot the streaming
+	// Encoder reserves so Close can rewrite the header in place.
+	encMetaPad = 256
+	// encCountPad is the fixed width of the Encoder's padded-uvarint
+	// event count.
+	encCountPad = binary.MaxVarintLen64
+)
+
+var (
+	// ErrBadMagic is returned when decoding a stream that is not a trace
+	// file.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrMetaTooLarge is returned when the header declares a meta blob
+	// beyond maxMetaLen.
+	ErrMetaTooLarge = errors.New("trace: meta length exceeds limit")
+	// ErrCountTooLarge is returned when the header declares more than
+	// maxEventCount events.
+	ErrCountTooLarge = errors.New("trace: event count exceeds limit")
+	// ErrBadKind is returned for an event with an unknown kind byte.
+	ErrBadKind = errors.New("trace: unknown event kind")
+	// ErrIDOverflow is returned when a node id does not fit the int32 id
+	// space.
+	ErrIDOverflow = errors.New("trace: node id overflows id space")
+	// ErrDayOverflow is returned when an accumulated day delta does not
+	// fit the int32 day space.
+	ErrDayOverflow = errors.New("trace: day overflows day space")
+	// ErrTruncated is returned when the stream ends inside an event the
+	// header promised.
+	ErrTruncated = errors.New("trace: truncated stream")
+)
+
+// putEvent appends one event's encoding to bw and returns the new
+// previous-day watermark. Its errors carry no "trace:" prefix; the
+// callers wrap them with one plus the event index.
+func putEvent(bw *bufio.Writer, ev Event, prevDay int32) (int32, error) {
+	if ev.Day < prevDay {
+		return prevDay, fmt.Errorf("day regression %d -> %d", prevDay, ev.Day)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+		return prevDay, err
+	}
+	if err := putUvarint(uint64(ev.Day - prevDay)); err != nil {
+		return prevDay, err
+	}
+	switch ev.Kind {
+	case AddNode:
+		if err := putUvarint(uint64(ev.U)); err != nil {
+			return prevDay, err
+		}
+		if err := bw.WriteByte(byte(ev.Origin)); err != nil {
+			return prevDay, err
+		}
+	case AddEdge:
+		if err := putUvarint(uint64(ev.U)); err != nil {
+			return prevDay, err
+		}
+		if err := putUvarint(uint64(ev.V)); err != nil {
+			return prevDay, err
+		}
+	default:
+		return prevDay, fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	return ev.Day, nil
+}
 
 // Encode writes tr to w in the binary trace format.
 func Encode(w io.Writer, tr *Trace) error {
@@ -52,41 +138,33 @@ func Encode(w io.Writer, tr *Trace) error {
 	}
 	prevDay := int32(0)
 	for i, ev := range tr.Events {
-		if ev.Day < prevDay {
-			return fmt.Errorf("trace: event %d day regression %d -> %d", i, prevDay, ev.Day)
-		}
-		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(ev.Day - prevDay)); err != nil {
-			return err
-		}
-		prevDay = ev.Day
-		switch ev.Kind {
-		case AddNode:
-			if err := putUvarint(uint64(ev.U)); err != nil {
-				return err
-			}
-			if err := bw.WriteByte(byte(ev.Origin)); err != nil {
-				return err
-			}
-		case AddEdge:
-			if err := putUvarint(uint64(ev.U)); err != nil {
-				return err
-			}
-			if err := putUvarint(uint64(ev.V)); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
+		if prevDay, err = putEvent(bw, ev, prevDay); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// Decode reads a trace in the binary format from r.
-func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+// Decoder incrementally decodes a trace stream: the header is read at
+// construction, events one at a time through Next, so a pass over an
+// arbitrarily long trace holds O(1) memory. FileSource builds its cursors
+// on it.
+type Decoder struct {
+	br    *bufio.Reader
+	meta  Meta
+	count uint64 // events the header promises
+	read  uint64 // events decoded so far
+	day   int32
+	err   error // sticky first failure
+}
+
+// NewDecoder reads and validates the stream's header (magic, meta, event
+// count) and returns a decoder positioned at the first event.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, err
@@ -96,65 +174,261 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	metaLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: meta length: %w", err)
 	}
-	if metaLen > 1<<20 {
-		return nil, fmt.Errorf("trace: unreasonable meta length %d", metaLen)
+	if metaLen > maxMetaLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMetaTooLarge, metaLen)
 	}
 	metaJSON := make([]byte, metaLen)
 	if _, err := io.ReadFull(br, metaJSON); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: meta: %w", err)
 	}
-	var tr Trace
-	if err := json.Unmarshal(metaJSON, &tr.Meta); err != nil {
+	d := &Decoder{br: br}
+	if err := json.Unmarshal(metaJSON, &d.meta); err != nil {
 		return nil, fmt.Errorf("trace: bad meta: %w", err)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
+		return nil, fmt.Errorf("trace: event count: %w", err)
+	}
+	if count > maxEventCount {
+		return nil, fmt.Errorf("%w: %d events", ErrCountTooLarge, count)
+	}
+	d.count = count
+	return d, nil
+}
+
+// Meta returns the header's metadata.
+func (d *Decoder) Meta() Meta { return d.meta }
+
+// Events returns the event count the header declares.
+func (d *Decoder) Events() uint64 { return d.count }
+
+// Next decodes one event. ok=false signals the clean end of the declared
+// stream; errors (corruption, truncation, overflow) are sticky.
+func (d *Decoder) Next() (Event, bool, error) {
+	if d.err != nil {
+		return Event{}, false, d.err
+	}
+	if d.read >= d.count {
+		return Event{}, false, nil
+	}
+	ev, err := d.decodeEvent()
+	if err != nil {
+		d.err = err
+		return Event{}, false, err
+	}
+	d.read++
+	return ev, true, nil
+}
+
+// wrap annotates a per-event read failure, converting end-of-stream into
+// the typed truncation error (the header promised more events).
+func (d *Decoder) wrap(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: event %d %s: %w", ErrTruncated, d.read, what, err)
+	}
+	return fmt.Errorf("trace: event %d %s: %w", d.read, what, err)
+}
+
+func (d *Decoder) readID(what string) (int32, error) {
+	u, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, d.wrap(what, err)
+	}
+	if u > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: event %d %s %d", ErrIDOverflow, d.read, what, u)
+	}
+	return int32(u), nil
+}
+
+func (d *Decoder) decodeEvent() (Event, error) {
+	kindByte, err := d.br.ReadByte()
+	if err != nil {
+		return Event{}, d.wrap("kind", err)
+	}
+	delta, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return Event{}, d.wrap("day", err)
+	}
+	if delta > math.MaxInt32 || int64(d.day)+int64(delta) > math.MaxInt32 {
+		return Event{}, fmt.Errorf("%w: event %d day delta %d", ErrDayOverflow, d.read, delta)
+	}
+	d.day += int32(delta)
+	ev := Event{Kind: Kind(kindByte), Day: d.day}
+	switch ev.Kind {
+	case AddNode:
+		if ev.U, err = d.readID("node"); err != nil {
+			return Event{}, err
+		}
+		origin, err := d.br.ReadByte()
+		if err != nil {
+			return Event{}, d.wrap("origin", err)
+		}
+		ev.Origin = Origin(origin)
+	case AddEdge:
+		if ev.U, err = d.readID("u"); err != nil {
+			return Event{}, err
+		}
+		if ev.V, err = d.readID("v"); err != nil {
+			return Event{}, err
+		}
+	default:
+		return Event{}, fmt.Errorf("%w: event %d kind %d", ErrBadKind, d.read, kindByte)
+	}
+	return ev, nil
+}
+
+// Decode reads a full trace in the binary format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
 		return nil, err
 	}
-	if count > 1<<33 {
-		return nil, fmt.Errorf("trace: unreasonable event count %d", count)
+	hint := d.count
+	if hint > decodePrealloc {
+		hint = decodePrealloc
 	}
-	tr.Events = make([]Event, 0, count)
-	day := int32(0)
-	for i := uint64(0); i < count; i++ {
-		kindByte, err := br.ReadByte()
+	tr := &Trace{Meta: d.meta, Events: make([]Event, 0, hint)}
+	for {
+		ev, ok, err := d.Next()
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, err
 		}
-		delta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d day: %w", i, err)
-		}
-		day += int32(delta)
-		ev := Event{Kind: Kind(kindByte), Day: day}
-		switch ev.Kind {
-		case AddNode:
-			u, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: event %d node: %w", i, err)
-			}
-			origin, err := br.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("trace: event %d origin: %w", i, err)
-			}
-			ev.U = int32(u)
-			ev.Origin = Origin(origin)
-		case AddEdge:
-			u, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: event %d u: %w", i, err)
-			}
-			v, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: event %d v: %w", i, err)
-			}
-			ev.U, ev.V = int32(u), int32(v)
-		default:
-			return nil, fmt.Errorf("trace: event %d has unknown kind %d", i, kindByte)
+		if !ok {
+			return tr, nil
 		}
 		tr.Events = append(tr.Events, ev)
 	}
-	return &tr, nil
+}
+
+// putUvarint10 writes x as a fixed-width (MaxVarintLen64-byte) varint by
+// padding with zero continuation groups; binary.ReadUvarint accepts the
+// non-canonical form, which is what lets the Encoder reserve the count
+// slot before the count is known.
+func putUvarint10(buf []byte, x uint64) {
+	for i := 0; i < encCountPad-1; i++ {
+		buf[i] = byte(x)&0x7f | 0x80
+		x >>= 7
+	}
+	buf[encCountPad-1] = byte(x)
+}
+
+// Encoder is the incremental trace sink: events are appended one at a
+// time (e.g. straight from gen.GenerateStream) and the header — meta
+// counters accumulated from the events plus the event count — is
+// back-patched on Close. A trace therefore streams to disk without the
+// event slice or the encoded bytes ever being resident. The writer must
+// be seekable (a file); the output decodes with the same Decoder/Decode
+// as Encode's.
+type Encoder struct {
+	ws      io.WriteSeeker
+	bw      *bufio.Writer
+	meta    Meta
+	count   uint64
+	prevDay int32
+	closed  bool
+}
+
+// NewEncoder writes a placeholder header to ws and returns a ready sink.
+// The placeholder is deliberately invalid (its count slot cannot decode),
+// so a file whose writer crashed before Close fails loudly instead of
+// passing as an empty trace. MergeDay defaults to -1 (no merge); use
+// SetMergeDay/SetSeed to record generator knowledge before Close.
+func NewEncoder(ws io.WriteSeeker) (*Encoder, error) {
+	e := &Encoder{ws: ws, bw: bufio.NewWriterSize(ws, 1<<16)}
+	e.meta.MergeDay = -1
+	hdr, err := e.header(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetSeed records the generator seed in the header meta.
+func (e *Encoder) SetSeed(seed int64) { e.meta.Seed = seed }
+
+// SetMergeDay records the merge day in the header meta (-1 for none).
+func (e *Encoder) SetMergeDay(day int32) { e.meta.MergeDay = day }
+
+// header renders the fixed-width rewritable header. When final is false
+// the count slot is filled with continuation bytes that no uvarint reader
+// accepts, poisoning the file until Close back-patches the real count.
+func (e *Encoder) header(final bool) ([]byte, error) {
+	metaJSON, err := json.Marshal(e.meta)
+	if err != nil {
+		return nil, err
+	}
+	if len(metaJSON) > encMetaPad {
+		return nil, fmt.Errorf("trace: meta exceeds the %d-byte encoder slot", encMetaPad)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], encMetaPad)
+	hdr := make([]byte, 0, len(magic)+n+encMetaPad+encCountPad)
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, lenBuf[:n]...)
+	pad := make([]byte, encMetaPad)
+	for i := range pad {
+		pad[i] = ' ' // JSON decoders skip trailing whitespace
+	}
+	copy(pad, metaJSON)
+	hdr = append(hdr, pad...)
+	var cnt [encCountPad]byte
+	if final {
+		putUvarint10(cnt[:], e.count)
+	} else {
+		for i := range cnt {
+			cnt[i] = 0xff
+		}
+	}
+	return append(hdr, cnt[:]...), nil
+}
+
+// Write appends one event. Events must arrive in non-decreasing day
+// order, exactly as a replay or generator emits them.
+func (e *Encoder) Write(ev Event) error {
+	if e.closed {
+		return errors.New("trace: encoder is closed")
+	}
+	prev, err := putEvent(e.bw, ev, e.prevDay)
+	if err != nil {
+		return fmt.Errorf("trace: event %d: %w", e.count, err)
+	}
+	e.prevDay = prev
+	e.meta.Accumulate(ev)
+	e.count++
+	return nil
+}
+
+// Meta returns the counters accumulated so far (plus the SetSeed /
+// SetMergeDay knowledge); after Close it is exactly what the header holds.
+func (e *Encoder) Meta() Meta { return e.meta }
+
+// Close flushes the event stream and back-patches the header with the
+// final meta and count. The encoder is unusable afterwards; closing the
+// underlying file stays the caller's job.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := e.ws.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	hdr, err := e.header(true)
+	if err != nil {
+		return err
+	}
+	if _, err := e.ws.Write(hdr); err != nil {
+		return err
+	}
+	// Leave the writer positioned at the end, where appends would go.
+	_, err = e.ws.Seek(0, io.SeekEnd)
+	return err
 }

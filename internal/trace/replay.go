@@ -65,38 +65,104 @@ var OnReplayPass func()
 // final state. The trace must be Validate()-clean; replay stops at the first
 // application error otherwise.
 func Replay(events []Event, hooks Hooks) (*State, error) {
-	st := NewState(1024, 4096)
-	if err := ReplayInto(st, events, hooks); err != nil {
-		return st, err
-	}
-	return st, nil
+	return ReplaySource(SliceSource(events), hooks)
 }
 
 // ReplayInto is Replay over a caller-provided state, allowing resumed or
 // segmented replays.
 func ReplayInto(st *State, events []Event, hooks Hooks) error {
+	return ReplaySourceInto(st, SliceSource(events), hooks)
+}
+
+// ReplaySource is Replay over a re-openable Source: it opens one cursor,
+// streams it through a fresh State, and closes it. With a FileSource the
+// pass runs straight off disk, so resident memory is the State, not the
+// event stream.
+func ReplaySource(src Source, hooks Hooks) (*State, error) {
+	st := NewState(1024, 4096)
+	if err := ReplaySourceInto(st, src, hooks); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// ReplaySourceInto is ReplaySource over a caller-provided state. It
+// consumes exactly one pass (one Open/Close pair) of the source.
+func ReplaySourceInto(st *State, src Source, hooks Hooks) error {
+	cur, err := src.Open()
+	if err != nil {
+		return err
+	}
+	err = replayCursor(st, cur, hooks)
+	if cerr := cur.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayCursor drains one cursor through a Sink.
+func replayCursor(st *State, cur Cursor, hooks Hooks) error {
+	k := NewSink(st, hooks)
+	for {
+		ev, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := k.Push(ev); err != nil {
+			return err
+		}
+	}
+	k.Finish()
+	return nil
+}
+
+// Sink is the push-driven form of one replay pass: producers that emit
+// events (gen.GenerateStream) feed Push in trace order and call Finish at
+// the end of the stream, getting identical hook semantics to a pull-based
+// Replay — day-boundary callbacks fire for empty days, the final day-end
+// fires once after the last event. The pull loops are built on it.
+type Sink struct {
+	st    *State
+	hooks Hooks
+	day   int32
+	any   bool
+}
+
+// NewSink starts one replay pass into st (counted by OnReplayPass).
+func NewSink(st *State, hooks Hooks) *Sink {
 	if OnReplayPass != nil {
 		OnReplayPass()
 	}
-	day := st.Day
-	for _, ev := range events {
-		for day < ev.Day {
-			if hooks.OnDayEnd != nil {
-				hooks.OnDayEnd(st, day)
-			}
-			day++
+	return &Sink{st: st, hooks: hooks, day: st.Day}
+}
+
+// Push applies one event to the state, firing any day-boundary hooks that
+// precede it and the per-event hook after it.
+func (k *Sink) Push(ev Event) error {
+	for k.day < ev.Day {
+		if k.hooks.OnDayEnd != nil {
+			k.hooks.OnDayEnd(k.st, k.day)
 		}
-		if err := st.Apply(ev); err != nil {
-			return err
-		}
-		if hooks.OnEvent != nil {
-			hooks.OnEvent(st, ev)
-		}
+		k.day++
 	}
-	if hooks.OnDayEnd != nil && len(events) > 0 {
-		hooks.OnDayEnd(st, day)
+	if err := k.st.Apply(ev); err != nil {
+		return err
+	}
+	k.any = true
+	if k.hooks.OnEvent != nil {
+		k.hooks.OnEvent(k.st, ev)
 	}
 	return nil
+}
+
+// Finish fires the final day-end hook; call it once after the last Push.
+func (k *Sink) Finish() {
+	if k.hooks.OnDayEnd != nil && k.any {
+		k.hooks.OnDayEnd(k.st, k.day)
+	}
 }
 
 // Dispatcher fans one replay pass out to any number of subscribers, so N
@@ -142,4 +208,10 @@ func (d *Dispatcher) Hooks() Hooks {
 // returns the final shared state.
 func (d *Dispatcher) Replay(events []Event) (*State, error) {
 	return Replay(events, d.Hooks())
+}
+
+// ReplaySource runs one pass over a source, dispatching to all
+// subscribers, and returns the final shared state.
+func (d *Dispatcher) ReplaySource(src Source) (*State, error) {
+	return ReplaySource(src, d.Hooks())
 }

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// Cursor is one forward pass over a trace's events.
+type Cursor interface {
+	// Next returns the next event in trace order. ok=false signals a clean
+	// end of the stream; a non-nil error means the pass failed (I/O error,
+	// corrupt input) and the cursor is dead.
+	Next() (Event, bool, error)
+	// Close releases the pass's resources. It is safe to call after
+	// exhaustion and must be called exactly once per cursor.
+	Close() error
+}
+
+// Source is a re-openable stream of trace events — the data-plane
+// abstraction every analysis layer consumes (see DESIGN.md §4). Open
+// returns a fresh Cursor positioned at the first event; multi-pass
+// consumers (the δ-sweep, RunBatch) call Open once per pass, and
+// concurrent passes each own their cursor, so Open must be safe for
+// concurrent use.
+type Source interface {
+	Open() (Cursor, error)
+}
+
+// MetaSource is a Source that knows its trace's Meta without a pass: a
+// decoded file header, or a generated trace's summary. Pipeline drivers
+// use it for capacity hints and the merge-day gate.
+type MetaSource interface {
+	Source
+	Meta() Meta
+}
+
+// SliceSource adapts an in-memory event slice to Source. It is the
+// trivial data plane: Open costs nothing and cursors share the slice.
+type SliceSource []Event
+
+// Open implements Source.
+func (s SliceSource) Open() (Cursor, error) { return &sliceCursor{events: s}, nil }
+
+type sliceCursor struct {
+	events []Event
+	i      int
+}
+
+func (c *sliceCursor) Next() (Event, bool, error) {
+	if c.i >= len(c.events) {
+		return Event{}, false, nil
+	}
+	ev := c.events[c.i]
+	c.i++
+	return ev, true, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// TraceSource adapts a full in-memory Trace to a MetaSource.
+type TraceSource struct{ Trace *Trace }
+
+// Open implements Source.
+func (s TraceSource) Open() (Cursor, error) { return SliceSource(s.Trace.Events).Open() }
+
+// Meta implements MetaSource.
+func (s TraceSource) Meta() Meta { return s.Trace.Meta }
+
+// Source returns the trace as a re-openable MetaSource.
+func (tr *Trace) Source() MetaSource { return TraceSource{Trace: tr} }
+
+// FileSource replays a binary trace file straight off disk: every Open
+// decodes the stream incrementally through a Decoder, so a pass holds
+// O(1) memory regardless of event count — the out-of-core data plane.
+type FileSource struct {
+	Path string
+	meta Meta
+}
+
+// OpenFileSource validates the file's header once and returns a
+// FileSource carrying its Meta. The events are not read.
+func OpenFileSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec, err := NewDecoder(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &FileSource{Path: path, meta: dec.Meta()}, nil
+}
+
+// Meta implements MetaSource with the header's metadata.
+func (s *FileSource) Meta() Meta { return s.meta }
+
+// Open implements Source: each pass opens its own file handle and
+// decoder, so concurrent passes (the δ-sweep fan-out) never share
+// position state.
+func (s *FileSource) Open() (Cursor, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewDecoder(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", s.Path, err)
+	}
+	return &fileCursor{f: f, dec: dec}, nil
+}
+
+type fileCursor struct {
+	f   *os.File
+	dec *Decoder
+}
+
+func (c *fileCursor) Next() (Event, bool, error) { return c.dec.Next() }
+
+func (c *fileCursor) Close() error { return c.f.Close() }

@@ -80,29 +80,37 @@ type Trace struct {
 	Events []Event
 }
 
+// Accumulate folds one event into the Meta counters (Days, Nodes, Edges,
+// and the per-origin node counts). MergeDay and Seed are generator
+// knowledge and untouched. It is the streaming form of Summarize, used by
+// the incremental Encoder and gen.GenerateStream.
+func (m *Meta) Accumulate(ev Event) {
+	if ev.Day+1 > m.Days {
+		m.Days = ev.Day + 1
+	}
+	switch ev.Kind {
+	case AddNode:
+		m.Nodes++
+		switch ev.Origin {
+		case OriginXiaonei:
+			m.Xiaonei++
+		case OriginFiveQ:
+			m.FiveQ++
+		case OriginNew:
+			m.NewUsers++
+		}
+	case AddEdge:
+		m.Edges++
+	}
+}
+
 // Summarize recomputes Meta counters (except MergeDay and Seed, which are
 // generator knowledge) from the events.
 func Summarize(events []Event) Meta {
 	var m Meta
 	m.MergeDay = -1
 	for _, ev := range events {
-		if ev.Day+1 > m.Days {
-			m.Days = ev.Day + 1
-		}
-		switch ev.Kind {
-		case AddNode:
-			m.Nodes++
-			switch ev.Origin {
-			case OriginXiaonei:
-				m.Xiaonei++
-			case OriginFiveQ:
-				m.FiveQ++
-			case OriginNew:
-				m.NewUsers++
-			}
-		case AddEdge:
-			m.Edges++
-		}
+		m.Accumulate(ev)
 	}
 	return m
 }

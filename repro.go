@@ -25,6 +25,14 @@ type (
 	Trace = trace.Trace
 	// Event is one creation event.
 	Event = trace.Event
+	// Meta summarizes a trace (counts, merge day, seed).
+	Meta = trace.Meta
+	// Source is a re-openable event stream — the data plane every
+	// analysis consumes; SliceSource, TraceSource, and FileSource are the
+	// in-memory and on-disk implementations.
+	Source = trace.Source
+	// MetaSource is a Source that knows its Meta without a pass.
+	MetaSource = trace.MetaSource
 	// GenConfig configures the synthetic trace generator.
 	GenConfig = gen.Config
 	// Pipeline configures the multi-scale analysis.
@@ -45,8 +53,29 @@ func DefaultGenConfig() GenConfig { return gen.DefaultConfig() }
 // SmallGenConfig returns a quick scenario for tests and demos.
 func SmallGenConfig() GenConfig { return gen.SmallConfig() }
 
-// Generate produces a synthetic trace.
+// LargeGenConfig returns the million-node out-of-core scenario; pair it
+// with GenerateToFile + OpenTraceFile + RunSource so the event stream
+// lives on disk, not in memory.
+func LargeGenConfig() GenConfig { return gen.LargeConfig() }
+
+// Generate produces a synthetic trace in memory.
 func Generate(cfg GenConfig) (*Trace, error) { return gen.Generate(cfg) }
+
+// GenerateToFile streams a synthetic trace straight to disk in the binary
+// trace format, never materializing the event slice, and returns its Meta.
+func GenerateToFile(cfg GenConfig, path string) (Meta, error) {
+	return gen.GenerateToFile(cfg, path)
+}
+
+// OpenTraceFile validates a trace file's header and returns a re-openable
+// source that replays it off disk with O(state) memory.
+func OpenTraceFile(path string) (MetaSource, error) {
+	fs, err := trace.OpenFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
 
 // DefaultPipeline returns the paper's analysis parameters at scaled sizes.
 func DefaultPipeline() Pipeline { return core.DefaultConfig() }
@@ -55,6 +84,11 @@ func DefaultPipeline() Pipeline { return core.DefaultConfig() }
 // streaming engine: all analyses share one replay, and the δ-sweep fans
 // out across a bounded worker pool (see DESIGN.md §4).
 func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
+
+// RunSource is Run over a re-openable event source — with a source from
+// OpenTraceFile the pipeline replays straight off disk and the only
+// O(events) artifact is the file itself.
+func RunSource(src MetaSource, cfg Pipeline) (*Result, error) { return core.RunSource(src, cfg) }
 
 // RunBatch executes the pipeline through the per-analysis batch entry
 // points (one replay per analysis). It produces identical results to Run
