@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -204,6 +205,37 @@ func BenchmarkPipelineBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigureOnly is the demand-driven planner's headline: serving one
+// panel (fig1a, the common CLI/server case) through a minimal plan versus
+// paying for the full multi-scale pipeline. The partial-run speedup is the
+// perf-trajectory number this benchmark tracks.
+func BenchmarkFigureOnly(b *testing.B) {
+	tr := benchTrace(b)
+	ctx := context.Background()
+	b.Run("Fig1aPlan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunFigures(ctx, tr.Source(), pipelineConfig(), "fig1a")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Figure("fig1a"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullPipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunPlan(ctx, tr.Source(), pipelineConfig(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Figure("fig1a"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Out-of-core data plane: replay memory at million-node scale ---

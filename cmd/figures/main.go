@@ -4,19 +4,23 @@
 //
 // Usage:
 //
-//	figures -fig fig3c                  # one panel on the small preset
+//	figures -only fig3c                 # one panel, minimal stage plan
+//	figures -only fig3c,fig5a           # two panels, union of their stages
 //	figures -fig all -preset default    # every panel at the default scale
-//	figures -fig fig4a -sweep 0.01,0.1  # the δ sweep panels
+//	figures -only fig4a -sweep 0.01,0.1 # the δ sweep panels
+//	figures -list                       # figure id -> producing stage
 //	figures -preset large -encode renren.trace   # stream-generate to disk
-//	figures -trace renren.trace -fig fig8c       # replay off disk, O(state) memory
-//	figures -fig fig1a -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	figures -trace renren.trace -only fig8c      # replay off disk, O(state) memory
+//	figures -only fig1a -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -32,6 +36,8 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	fig := flag.String("fig", "all", "figure id (e.g. fig3c) or \"all\"")
+	only := flag.String("only", "", "comma-separated figure ids; plans and runs exactly the stages they need (overrides -fig)")
+	list := flag.Bool("list", false, "print every figure id with the stage that produces it, and exit")
 	preset := flag.String("preset", "small", "generator preset when no trace file is given: small, default, or large")
 	tracePath := flag.String("trace", "", "optional trace file, replayed off disk (overrides -preset)")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -41,6 +47,19 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the pipeline run to this file")
 	flag.Parse()
+
+	if *list {
+		// The id -> stage mapping comes from the planner registry, so a
+		// newly registered stage shows up here without touching this tool.
+		for _, id := range core.AllFigures {
+			stage, err := core.StageFor(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s\t%s\n", id, stage)
+		}
+		return
+	}
 
 	genConfig := func() gen.Config {
 		var cfg gen.Config
@@ -91,14 +110,18 @@ func main() {
 	log.Printf("trace: %d nodes, %d edges, %d days, merge day %d",
 		meta.Nodes, meta.Edges, meta.Days, meta.MergeDay)
 
-	wanted := map[string]bool{}
-	if *fig == "all" {
-		for _, id := range core.AllFigures {
-			wanted[id] = true
-		}
+	// Resolve the requested panels into a minimal dependency-closed stage
+	// plan: asking for one figure runs exactly the stages it needs.
+	sel := *fig
+	if *only != "" {
+		sel = *only
+	}
+	var ids []string
+	if sel == "all" {
+		ids = core.AllFigures
 	} else {
-		for _, id := range strings.Split(*fig, ",") {
-			wanted[strings.TrimSpace(id)] = true
+		for _, id := range strings.Split(sel, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
@@ -106,22 +129,26 @@ func main() {
 	if *snapshotEvery > 0 {
 		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
 	}
-	// Only run the stages the requested figures need.
-	need := func(prefixes ...string) bool {
-		for id := range wanted {
-			for _, p := range prefixes {
-				if strings.HasPrefix(id, p) {
-					return true
-				}
+	// δ values must be in place before planning — a fig4 request with an
+	// empty sweep is rejected at plan time. Setting the default grid is
+	// free when the sweep stage doesn't make the plan.
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad sweep value %q: %v", s, err)
 			}
+			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
 		}
-		return false
+	} else {
+		cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
 	}
-	cfg.SkipMetrics = !need("fig1")
-	cfg.SkipEvolution = !need("fig2", "fig3")
-	cfg.SkipCommunity = !need("fig4", "fig5", "fig6", "fig7")
-	cfg.SkipMerge = !need("fig8", "fig9")
-	if !cfg.SkipCommunity {
+	plan, err := core.Plan(cfg, ids...)
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	log.Printf("plan: stages %s for %d figure(s)", strings.Join(plan.Stages(), ", "), len(plan.Figures()))
+	if plan.Has("community") || plan.Has("sweep") {
 		d := meta.Days
 		grid := func(x int32) int32 {
 			if x < cfg.Community.StartDay {
@@ -131,17 +158,11 @@ func main() {
 		}
 		cfg.Community.SizeDistDays = []int32{grid(d / 2), grid(d * 3 / 4), grid(d - 1)}
 	}
-	if *sweep != "" {
-		for _, s := range strings.Split(*sweep, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				log.Fatalf("bad sweep value %q: %v", s, err)
-			}
-			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
-		}
-	} else if need("fig4") {
-		cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
-	}
+
+	// Interrupting the run (SIGINT) cancels every in-flight replay pass at
+	// its next day boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// Profiling brackets the pipeline run explicitly rather than via
 	// defers: log.Fatalf exits without running defers, which would leave
@@ -159,7 +180,7 @@ func main() {
 		cpuOut = f
 	}
 
-	res, err := core.RunSource(src, cfg)
+	res, err := core.RunPlan(ctx, src, cfg, plan)
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuOut.Close(); cerr != nil {
@@ -182,10 +203,7 @@ func main() {
 		f.Close()
 	}
 
-	for _, id := range core.AllFigures {
-		if !wanted[id] {
-			continue
-		}
+	for _, id := range plan.Figures() {
 		tab, err := res.Figure(id)
 		if err != nil {
 			log.Printf("%s: %v", id, err)

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	rranalyze -trace renren.trace -out figures/
+//	rranalyze -trace renren.trace -out figures/ -only fig3c,fig5a
 //	rranalyze -trace renren.trace -out figures/ -sweep 0.0001,0.01,0.04,0.1,0.3
+//	rranalyze -trace renren.trace -validate -out figures/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -27,10 +31,12 @@ func main() {
 
 	tracePath := flag.String("trace", "", "input trace file (required)")
 	outDir := flag.String("out", "figures", "output directory for per-figure TSVs")
+	only := flag.String("only", "", "comma-separated figure ids; plans and runs exactly the stages they need")
 	sweep := flag.String("sweep", "", "comma-separated δ values for the Fig 4 sweep (expensive)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
 	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
+	validate := flag.Bool("validate", false, "stream-validate the trace's structural invariants before analyzing")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -42,6 +48,12 @@ func main() {
 	src, err := trace.OpenFileSource(*tracePath)
 	if err != nil {
 		log.Fatalf("open: %v", err)
+	}
+	if *validate {
+		if err := trace.ValidateSource(src); err != nil {
+			log.Fatalf("validate: %v", err)
+		}
+		log.Print("trace validated")
 	}
 	meta := src.Meta()
 	log.Printf("opened %s: %d nodes, %d edges, %d days, merge day %d",
@@ -77,7 +89,25 @@ func main() {
 		}
 	}
 
-	res, err := core.RunSource(src, cfg)
+	// An explicit -only list plans the minimal stage set; otherwise a nil
+	// plan translates the -skip toggles. SIGINT cancels every in-flight
+	// replay pass at its next day boundary.
+	var plan *core.FigurePlan
+	figs := core.AllFigures
+	if *only != "" {
+		var ids []string
+		for _, id := range strings.Split(*only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		if plan, err = core.Plan(cfg, ids...); err != nil {
+			log.Fatalf("plan: %v", err)
+		}
+		figs = plan.Figures()
+		log.Printf("plan: stages %s", strings.Join(plan.Stages(), ", "))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := core.RunPlan(ctx, src, cfg, plan)
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
@@ -85,7 +115,7 @@ func main() {
 		log.Fatalf("mkdir: %v", err)
 	}
 	written := 0
-	for _, id := range core.AllFigures {
+	for _, id := range figs {
 		tab, err := res.Figure(id)
 		if err != nil {
 			log.Printf("skipping %s: %v", id, err)

@@ -5,6 +5,7 @@
 //
 //	rrgen -preset default -seed 1 -out renren.trace
 //	rrgen -preset small -days 250 -out small.trace
+//	rrgen -preset large -out big.trace -check   # validate off disk after writing
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"log"
 
 	"repro/internal/gen"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "override node cap (0 = preset value)")
 	noMerge := flag.Bool("no-merge", false, "disable the 5Q network merge event")
 	out := flag.String("out", "renren.trace", "output file")
+	check := flag.Bool("check", false, "stream-validate the written trace's structural invariants (one extra pass off disk)")
 	flag.Parse()
 
 	var cfg gen.Config
@@ -61,4 +64,17 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
 		*out, m.Days, m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, m.MergeDay)
+
+	if *check {
+		// Validation replays the file through a cursor, so even the large
+		// preset's ~10^7 events are checked in O(state) memory.
+		fs, err := trace.OpenFileSource(*out)
+		if err != nil {
+			log.Fatalf("check: %v", err)
+		}
+		if err := trace.ValidateSource(fs); err != nil {
+			log.Fatalf("check: %v", err)
+		}
+		fmt.Println("trace validated")
+	}
 }

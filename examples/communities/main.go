@@ -1,11 +1,12 @@
 // communities reproduces the §4 workflow (Figs 4–7): incremental Louvain
 // with similarity-based tracking, community lifecycle statistics, SVM merge
-// prediction, and the impact of community membership on users — all driven
-// through the core pipeline over a trace Source, the same data plane the
+// prediction, and the impact of community membership on users — planned and
+// run on demand through core.RunFigures, the same demand-driven API the
 // figure harness uses.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +25,13 @@ func main() {
 	fmt.Printf("trace: %d nodes, %d edges, merge day %d\n",
 		tr.Meta.Nodes, tr.Meta.Edges, tr.Meta.MergeDay)
 
-	// Run only the §4 stages of the pipeline over the trace's Source;
-	// community detection, user impact, and the SVM merge prediction all
-	// feed from the one shared streaming pass.
+	// Demand-driven run: ask for the §4 panels and the planner resolves
+	// the community, users, and svm stages (fig6b pulls the SVM evaluation,
+	// fig7a the users stage — both ride the community pipeline's one
+	// shared streaming pass).
 	cfg := core.DefaultConfig() // community defaults: δ=0.04, 3-day snapshots, min size 10
-	cfg.SkipMetrics = true
-	cfg.SkipEvolution = true
-	cfg.SkipMerge = true
-	pres, err := core.RunSource(tr.Source(), cfg)
+	pres, err := core.RunFigures(context.Background(), tr.Source(), cfg,
+		"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,16 +43,18 @@ func run() error {
 	fmt.Printf("trace: %d xiaonei + %d 5q users at the merge (day %d), %d later arrivals\n",
 		meta.Xiaonei, meta.FiveQ, meta.MergeDay, meta.NewUsers)
 
-	// Stream-replay: the §5 stage consumes the file through a cursor.
+	// Stream-replay: the trace is validated and analyzed straight off
+	// disk through FileSource cursors, and the demand-driven plan for the
+	// §5 panels runs only the osnmerge stage.
 	src, err := trace.OpenFileSource(path)
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig()
-	cfg.SkipMetrics = true
-	cfg.SkipEvolution = true
-	cfg.SkipCommunity = true
-	pres, err := core.RunSource(src, cfg)
+	if err := trace.ValidateSource(src); err != nil {
+		return err
+	}
+	pres, err := core.RunFigures(context.Background(), src, core.DefaultConfig(),
+		"fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c")
 	if err != nil {
 		return err
 	}

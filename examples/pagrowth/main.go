@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,14 +21,13 @@ func analyze(name string, cfg gen.Config) {
 	}
 	fmt.Printf("--- %s: %d nodes, %d edges ---\n", name, tr.Meta.Nodes, tr.Meta.Edges)
 
-	// Run only the §3 stages over the trace's Source; Fig 2 and Fig 3
-	// share the pipeline's one streaming pass.
+	// Demand-driven run: requesting the §3 panels plans exactly the
+	// evolution and alpha stages, which share the pipeline's one
+	// streaming pass.
 	pcfg := core.DefaultConfig()
-	pcfg.SkipMetrics = true
-	pcfg.SkipCommunity = true
-	pcfg.SkipMerge = true
 	pcfg.Alpha = evolution.AlphaOptions{Interval: 2000, MinEdges: 4000, Seed: 1, PolyDegree: 3}
-	res, err := core.RunSource(tr.Source(), pcfg)
+	res, err := core.RunFigures(context.Background(), tr.Source(), pcfg,
+		"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,4 +57,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fig2c (%s): %d rows, columns %v\n", tab.Title, len(tab.Rows), tab.Columns)
+
+	// When only one panel is needed, skip the full pipeline: RunFigures
+	// plans the minimal stage set for the request (here just the metrics
+	// stage — one replay pass instead of the whole multi-scale analysis).
+	one, err := repro.RunFigures(context.Background(), tr.Source(), repro.DefaultPipeline(), "fig1a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err = one.Figure("fig1a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fig1a on demand (%s): %d rows\n", tab.Title, len(tab.Rows))
 }

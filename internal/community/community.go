@@ -6,6 +6,7 @@
 package community
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -95,8 +96,17 @@ func Run(events []trace.Event, opt Options) (*Result, error) {
 // RunSource is Run over a re-openable event source; it consumes exactly
 // one pass. The δ-sweep opens one concurrent pass per δ through here.
 func RunSource(src trace.Source, opt Options) (*Result, error) {
+	return RunSourceContext(nil, src, opt)
+}
+
+// RunSourceContext is RunSource with cancellation: the replay checks ctx at
+// every day boundary, so a δ-sweep pass fanned out on the worker pool stops
+// promptly (with ctx.Err()) when its pipeline run is cancelled. A nil ctx
+// disables the checks.
+func RunSourceContext(ctx context.Context, src trace.Source, opt Options) (*Result, error) {
 	s := NewStage(opt)
-	if _, err := trace.ReplaySource(src, trace.Hooks{OnDayEnd: s.OnDayEnd}); err != nil {
+	st := trace.NewState(1024, 4096)
+	if err := trace.ReplaySourceIntoContext(ctx, st, src, trace.Hooks{OnDayEnd: s.OnDayEnd}); err != nil {
 		return nil, err
 	}
 	if err := s.Finish(nil); err != nil {

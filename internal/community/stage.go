@@ -47,8 +47,15 @@ func NewStage(opt Options) *Stage {
 	return s
 }
 
+// StageName and UsersStageName are the planner registry names of the two
+// §4 stages.
+const (
+	StageName      = "community"
+	UsersStageName = "users"
+)
+
 // Name implements engine.Stage.
-func (s *Stage) Name() string { return "community" }
+func (s *Stage) Name() string { return StageName }
 
 // OnEvent implements engine.Stage; the pipeline is snapshot-driven.
 func (s *Stage) OnEvent(_ *trace.State, _ trace.Event) {}
@@ -188,7 +195,7 @@ func NewUsersStage(buckets []SizeBucket, source func() *Result) *UsersStage {
 }
 
 // Name implements engine.Stage.
-func (s *UsersStage) Name() string { return "users" }
+func (s *UsersStage) Name() string { return UsersStageName }
 
 // OnEvent records per-node edge activity and inter-arrival gaps.
 func (s *UsersStage) OnEvent(_ *trace.State, ev trace.Event) {

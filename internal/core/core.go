@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"repro/internal/community"
-	"repro/internal/engine"
 	"repro/internal/evolution"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -46,6 +45,14 @@ type Config struct {
 	Merge osnmerge.Options
 
 	// Stage toggles, for cheap partial runs.
+	//
+	// Deprecated: the planner subsumes these coarse booleans — build a
+	// plan with Plan(cfg, figures...) and execute it with RunPlan (or call
+	// RunFigures) to run exactly the stages a set of panels needs. The
+	// toggles remain as shims: Run and RunSource translate them into a
+	// plan (skipping "community" also drops the users, svm, and sweep
+	// stages that historically rode on that toggle), and an explicit
+	// figure request to Plan overrides them entirely.
 	SkipMetrics   bool
 	SkipEvolution bool
 	SkipCommunity bool
@@ -53,6 +60,13 @@ type Config struct {
 
 	// Seed for sampled metrics.
 	Seed int64
+
+	// OnProgress, when non-nil, is invoked at every day boundary of the
+	// shared streaming pass with the finished day and the cumulative
+	// number of events applied. It observes the main pass only (δ-sweep
+	// passes run concurrently on the pool) and must not block: it runs on
+	// the replay's goroutine.
+	OnProgress func(day int32, events int64)
 }
 
 // DefaultConfig mirrors the paper's parameters at the scaled sizes.
@@ -83,6 +97,14 @@ type DeltaRun struct {
 	SizeDist []int
 }
 
+// MergeAccuracy is the overall Fig 6b merge-prediction evaluation: held-out
+// accuracy over N samples, split by class. It is a named type (not an
+// anonymous struct) so callers can carry it through their own signatures.
+type MergeAccuracy struct {
+	PosAccuracy, NegAccuracy, Accuracy float64
+	N                                  int
+}
+
 // Result is the full multi-scale analysis output.
 type Result struct {
 	Meta trace.Meta
@@ -95,15 +117,17 @@ type Result struct {
 
 	Community *community.Result
 	Users     *community.UserImpact
-	// MergePrediction is the Fig 6b evaluation.
+	// MergeBins and MergeOverall are the Fig 6b evaluation.
 	MergeBins    []community.AgeBinAccuracy
-	MergeOverall struct {
-		PosAccuracy, NegAccuracy, Accuracy float64
-		N                                  int
-	}
-	DeltaSweep []DeltaRun
+	MergeOverall MergeAccuracy
+	DeltaSweep   []DeltaRun
 
 	Merge *osnmerge.Result
+
+	// tables is the keyed figure store: panels pre-emitted by a
+	// demand-driven run (RunPlan/RunFigures), served by Figure without
+	// re-emitting.
+	tables map[string]*Table
 }
 
 // ErrEmptyTrace is returned for traces with no events.
@@ -138,10 +162,12 @@ func applyMergePrediction(res *Result, cr *community.Result, mergeDay int32, see
 		return
 	}
 	res.MergeBins = bins
-	res.MergeOverall.PosAccuracy = overall.PosAccuracy
-	res.MergeOverall.NegAccuracy = overall.NegAccuracy
-	res.MergeOverall.Accuracy = overall.Accuracy
-	res.MergeOverall.N = overall.N
+	res.MergeOverall = MergeAccuracy{
+		PosAccuracy: overall.PosAccuracy,
+		NegAccuracy: overall.NegAccuracy,
+		Accuracy:    overall.Accuracy,
+		N:           overall.N,
+	}
 }
 
 // Run executes the configured pipeline stages over the trace on the
@@ -150,11 +176,15 @@ func applyMergePrediction(res *Result, cr *community.Result, mergeDay int32, see
 // merge-prediction evaluation fan out across a bounded worker pool. The
 // result is identical to RunBatch's (the equivalence is enforced by
 // TestEngineMatchesBatch); only the pass structure differs.
+//
+// Run translates the deprecated Skip* toggles into a plan; demand-driven
+// callers should use Plan/RunPlan (or RunFigures) instead, which also
+// accept a context for cancellation.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.Events) == 0 {
 		return nil, ErrEmptyTrace
 	}
-	return runSource(trace.SliceSource(tr.Events), tr.Meta, cfg)
+	return runPlan(nil, trace.SliceSource(tr.Events), tr.Meta, cfg, planFromConfig(cfg))
 }
 
 // RunSource is Run over a re-openable event source — the out-of-core
@@ -164,120 +194,10 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 // trace.State plus per-stage accumulators (O(state), asserted by the
 // replay-memory benchmark on gen.LargeConfig). The source's Meta gates
 // the merge stage and sizes the state, exactly as a Trace's Meta does.
+//
+// Like Run, this is a Skip*-translating shim over RunPlan.
 func RunSource(src trace.MetaSource, cfg Config) (*Result, error) {
-	meta := src.Meta()
-	if meta.Nodes == 0 && meta.Edges == 0 {
-		return nil, ErrEmptyTrace
-	}
-	return runSource(src, meta, cfg)
-}
-
-// runSource is the engine-path implementation shared by Run and RunSource.
-func runSource(src trace.Source, meta trace.Meta, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	res := &Result{Meta: meta}
-
-	eng := engine.New()
-	eng.Hint(int(meta.Nodes), int(meta.Edges))
-
-	var ms *metrics.Stage
-	if !cfg.SkipMetrics {
-		ms = metrics.NewStage(metrics.StageOptions{
-			MetricsEvery:      cfg.MetricsEvery,
-			PathEvery:         cfg.PathEvery,
-			PathSources:       cfg.PathSources,
-			ClusteringSamples: cfg.ClusteringSamples,
-			Seed:              cfg.Seed,
-		})
-		eng.Subscribe(ms)
-	}
-	var es *evolution.Stage
-	var as *evolution.AlphaStage
-	if !cfg.SkipEvolution {
-		es = evolution.NewStage(cfg.Evolution)
-		as = evolution.NewAlphaStage(cfg.Alpha)
-		eng.Subscribe(es, as)
-	}
-	var cs *community.Stage
-	var us *community.UsersStage
-	if !cfg.SkipCommunity {
-		cs = community.NewStage(cfg.Community)
-		us = community.NewUsersStage(nil, cs.Result)
-		eng.Subscribe(cs, us)
-	}
-	var os *osnmerge.Stage
-	if !cfg.SkipMerge && meta.MergeDay >= 0 {
-		os = osnmerge.NewStage(meta.MergeDay, cfg.Merge)
-		eng.Subscribe(os)
-	}
-
-	// The δ-sweep needs one community pipeline per δ with its own
-	// incremental Louvain state, so the runs cannot share the engine's
-	// pass; they fan out on the pool while the main pass runs here, each
-	// re-opening the source for a concurrent pass of its own.
-	pool := engine.NewPool(0)
-	sweep := make([]*DeltaRun, len(cfg.DeltaSweep))
-	if !cfg.SkipCommunity {
-		for i, d := range cfg.DeltaSweep {
-			opt := cfg.Community
-			opt.Delta = d
-			pool.Go(func() error {
-				dr, err := community.RunSource(src, opt)
-				if err != nil {
-					return fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
-				}
-				run := &DeltaRun{Delta: d, Stats: dr.Stats}
-				if len(opt.SizeDistDays) > 0 {
-					run.SizeDist = dr.SizeDists[opt.SizeDistDays[len(opt.SizeDistDays)-1]]
-				}
-				sweep[i] = run
-				return nil
-			})
-		}
-	}
-
-	var err error
-	if eng.Stages() > 0 {
-		_, err = eng.RunSource(src)
-	}
-	if err == nil && cs != nil {
-		// The SVM evaluation depends on the community stage's result but
-		// not on the other finishers; it joins the concurrent fan-out.
-		pool.Go(func() error {
-			applyMergePrediction(res, cs.Result(), meta.MergeDay, cfg.Seed)
-			return nil
-		})
-	}
-	// Always drain the pool, even on engine error, so no goroutine
-	// outlives the call.
-	if werr := pool.Wait(); err == nil && werr != nil {
-		return nil, werr
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	if ms != nil {
-		res.Growth = ms.Growth
-		res.Metrics = ms.Snapshots
-	}
-	if es != nil {
-		res.Evolution = es.Result()
-		res.Alpha = as.Result()
-	}
-	if cs != nil {
-		res.Community = cs.Result()
-		res.Users = us.Impact()
-	}
-	if os != nil {
-		res.Merge = os.Result()
-	}
-	for _, run := range sweep {
-		if run != nil {
-			res.DeltaSweep = append(res.DeltaSweep, *run)
-		}
-	}
-	return res, nil
+	return RunPlan(nil, src, cfg, nil)
 }
 
 // RunBatch executes the same pipeline through the per-analysis batch entry

@@ -46,61 +46,28 @@ func svmOptions(seed int64) svm.Options {
 	return svm.Options{Seed: seed, ClassWeighted: true}
 }
 
-// Figure extracts one panel's table from a pipeline result.
+// Figure extracts one panel's table from a pipeline result: a registry
+// lookup resolves the id to its stage's emitter (ErrUnknownFigure for ids
+// outside AllFigures), and panels pre-emitted by a demand-driven run are
+// served from the keyed store without re-emitting. Emitters report
+// ErrStageSkipped when their stage did not run or produced nothing.
 func (r *Result) Figure(id string) (*Table, error) {
-	switch id {
-	case "fig1a":
-		return r.fig1a()
-	case "fig1b":
-		return r.fig1b()
-	case "fig1c", "fig1e", "fig1f":
-		return r.fig1Metric(id)
-	case "fig1d":
-		return r.fig1d()
-	case "fig2a":
-		return r.fig2a()
-	case "fig2b":
-		return r.fig2b()
-	case "fig2c":
-		return r.fig2c()
-	case "fig3a":
-		return r.fig3pe(id, true)
-	case "fig3b":
-		return r.fig3pe(id, false)
-	case "fig3c":
-		return r.fig3c()
-	case "fig4a", "fig4b":
-		return r.fig4Series(id)
-	case "fig4c":
-		return r.fig4c()
-	case "fig5a":
-		return r.fig5a()
-	case "fig5b":
-		return r.fig5b()
-	case "fig5c":
-		return r.fig5c()
-	case "fig6a":
-		return r.fig6a()
-	case "fig6b":
-		return r.fig6b()
-	case "fig6c":
-		return r.fig6c()
-	case "fig7a":
-		return r.fig7a()
-	case "fig7b":
-		return r.fig7Buckets("fig7b")
-	case "fig7c":
-		return r.fig7Buckets("fig7c")
-	case "fig8a", "fig8b":
-		return r.fig8Active(id)
-	case "fig8c":
-		return r.fig8c()
-	case "fig9a", "fig9b":
-		return r.fig9Ratios(id)
-	case "fig9c":
-		return r.fig9c()
+	e, ok := figureRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFigure, id)
 	}
-	return nil, fmt.Errorf("%w: %q", ErrUnknownFigure, id)
+	if tab, ok := r.tables[id]; ok {
+		return tab, nil
+	}
+	return e.emit(r)
+}
+
+// putTable stores one emitted panel in the keyed store.
+func (r *Result) putTable(id string, tab *Table) {
+	if r.tables == nil {
+		r.tables = make(map[string]*Table)
+	}
+	r.tables[id] = tab
 }
 
 func (r *Result) fig1a() (*Table, error) {

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/trace"
@@ -115,12 +116,20 @@ func (e *Engine) Run(events []trace.Event) (*trace.State, error) {
 // resident memory is the shared State plus the stages' accumulators —
 // O(state), independent of the trace's event count.
 func (e *Engine) RunSource(src trace.Source) (*trace.State, error) {
+	return e.RunSourceContext(nil, src)
+}
+
+// RunSourceContext is RunSource with cancellation: the replay checks ctx at
+// every day boundary and, once cancelled, no stage Finish runs — the pass
+// aborts with ctx.Err() and the partially built state. A nil ctx disables
+// the checks.
+func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source) (*trace.State, error) {
 	d := &trace.Dispatcher{}
 	for _, s := range e.stages {
 		d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	}
 	st := trace.NewState(e.nodeHint, e.edgeHint)
-	if err := trace.ReplaySourceInto(st, src, d.Hooks()); err != nil {
+	if err := trace.ReplaySourceIntoContext(ctx, st, src, d.Hooks()); err != nil {
 		return st, err
 	}
 	for _, s := range e.stages {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -42,6 +43,20 @@ func (p *Pool) Go(fn func() error) {
 			p.mu.Unlock()
 		}
 	}()
+}
+
+// GoContext is Go for cancellable fan-out: if ctx is already cancelled when
+// the task's worker slot frees up, the task body is skipped and ctx's error
+// recorded instead. Result-slot writes stay deterministic — a skipped task
+// simply leaves its slot empty. The task itself should also consume ctx
+// (e.g. a context-aware replay) so in-flight work stops promptly.
+func (p *Pool) GoContext(ctx context.Context, fn func() error) {
+	p.Go(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn()
+	})
 }
 
 // Wait blocks until every submitted task has finished and returns the first

@@ -59,8 +59,15 @@ func NewStage(opt Options) *Stage {
 	return s
 }
 
+// StageName and AlphaStageName are the planner registry names of the two
+// §3 stages.
+const (
+	StageName      = "evolution"
+	AlphaStageName = "alpha"
+)
+
 // Name implements engine.Stage.
-func (s *Stage) Name() string { return "evolution" }
+func (s *Stage) Name() string { return StageName }
 
 func (s *Stage) flushDay() {
 	if s.curDay < 0 || s.dayTotal == 0 {
@@ -219,7 +226,7 @@ func NewAlphaStage(opt AlphaOptions) *AlphaStage {
 }
 
 // Name implements engine.Stage.
-func (s *AlphaStage) Name() string { return "alpha" }
+func (s *AlphaStage) Name() string { return AlphaStageName }
 
 // OnEvent forwards arrivals to the α tracker.
 func (s *AlphaStage) OnEvent(_ *trace.State, ev trace.Event) {

@@ -69,8 +69,11 @@ func NewStage(opt StageOptions) *Stage {
 	return &Stage{opt: opt, rng: stats.NewRand(opt.Seed)}
 }
 
+// StageName is the stage's planner registry name.
+const StageName = "metrics"
+
 // Name implements engine.Stage.
-func (s *Stage) Name() string { return "metrics" }
+func (s *Stage) Name() string { return StageName }
 
 // OnEvent counts the day's node and edge arrivals.
 func (s *Stage) OnEvent(st *trace.State, ev trace.Event) {

@@ -71,8 +71,11 @@ func NewStage(mergeDay int32, opt Options) *Stage {
 	}
 }
 
+// StageName is the stage's planner registry name.
+const StageName = "osnmerge"
+
 // Name implements engine.Stage.
-func (s *Stage) Name() string { return "osnmerge" }
+func (s *Stage) Name() string { return StageName }
 
 // OnEvent accumulates per-user inter-arrival statistics, the distance-
 // source census, and buffers post-merge edges for Finish.

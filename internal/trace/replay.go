@@ -1,6 +1,10 @@
 package trace
 
-import "repro/internal/graph"
+import (
+	"context"
+
+	"repro/internal/graph"
+)
 
 // State is the incrementally maintained view of the network that replay
 // builds: the live graph plus the per-node birthday and origin columns that
@@ -89,11 +93,20 @@ func ReplaySource(src Source, hooks Hooks) (*State, error) {
 // ReplaySourceInto is ReplaySource over a caller-provided state. It
 // consumes exactly one pass (one Open/Close pair) of the source.
 func ReplaySourceInto(st *State, src Source, hooks Hooks) error {
+	return ReplaySourceIntoContext(nil, st, src, hooks)
+}
+
+// ReplaySourceIntoContext is ReplaySourceInto with cancellation: the pass
+// checks ctx at every day boundary (the natural quantum of the replay) and
+// aborts with ctx.Err() — typically context.Canceled — leaving the state
+// mid-replay. A nil ctx disables the checks, making this identical to
+// ReplaySourceInto.
+func ReplaySourceIntoContext(ctx context.Context, st *State, src Source, hooks Hooks) error {
 	cur, err := src.Open()
 	if err != nil {
 		return err
 	}
-	err = replayCursor(st, cur, hooks)
+	err = replayCursor(ctx, st, cur, hooks)
 	if cerr := cur.Close(); err == nil {
 		err = cerr
 	}
@@ -101,8 +114,8 @@ func ReplaySourceInto(st *State, src Source, hooks Hooks) error {
 }
 
 // replayCursor drains one cursor through a Sink.
-func replayCursor(st *State, cur Cursor, hooks Hooks) error {
-	k := NewSink(st, hooks)
+func replayCursor(ctx context.Context, st *State, cur Cursor, hooks Hooks) error {
+	k := NewSinkContext(ctx, st, hooks)
 	for {
 		ev, ok, err := cur.Next()
 		if err != nil {
@@ -115,8 +128,7 @@ func replayCursor(st *State, cur Cursor, hooks Hooks) error {
 			return err
 		}
 	}
-	k.Finish()
-	return nil
+	return k.Finish()
 }
 
 // Sink is the push-driven form of one replay pass: producers that emit
@@ -127,22 +139,35 @@ func replayCursor(st *State, cur Cursor, hooks Hooks) error {
 type Sink struct {
 	st    *State
 	hooks Hooks
+	ctx   context.Context
 	day   int32
 	any   bool
 }
 
 // NewSink starts one replay pass into st (counted by OnReplayPass).
 func NewSink(st *State, hooks Hooks) *Sink {
+	return NewSinkContext(nil, st, hooks)
+}
+
+// NewSinkContext is NewSink with cancellation: Push and Finish check ctx at
+// every day boundary and abort the pass with ctx.Err(). A nil ctx disables
+// the checks.
+func NewSinkContext(ctx context.Context, st *State, hooks Hooks) *Sink {
 	if OnReplayPass != nil {
 		OnReplayPass()
 	}
-	return &Sink{st: st, hooks: hooks, day: st.Day}
+	return &Sink{st: st, hooks: hooks, ctx: ctx, day: st.Day}
 }
 
 // Push applies one event to the state, firing any day-boundary hooks that
 // precede it and the per-event hook after it.
 func (k *Sink) Push(ev Event) error {
 	for k.day < ev.Day {
+		if k.ctx != nil {
+			if err := k.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if k.hooks.OnDayEnd != nil {
 			k.hooks.OnDayEnd(k.st, k.day)
 		}
@@ -159,10 +184,17 @@ func (k *Sink) Push(ev Event) error {
 }
 
 // Finish fires the final day-end hook; call it once after the last Push.
-func (k *Sink) Finish() {
+// With a cancelled context it reports ctx.Err() instead of firing the hook.
+func (k *Sink) Finish() error {
+	if k.ctx != nil {
+		if err := k.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if k.hooks.OnDayEnd != nil && k.any {
 		k.hooks.OnDayEnd(k.st, k.day)
 	}
+	return nil
 }
 
 // Dispatcher fans one replay pass out to any number of subscribers, so N
@@ -211,7 +243,9 @@ func (d *Dispatcher) Replay(events []Event) (*State, error) {
 }
 
 // ReplaySource runs one pass over a source, dispatching to all
-// subscribers, and returns the final shared state.
+// subscribers, and returns the final shared state. For a cancellable
+// dispatched pass, feed Hooks() to ReplaySourceIntoContext — that is how
+// the engine drives its subscribers with a context.
 func (d *Dispatcher) ReplaySource(src Source) (*State, error) {
 	return ReplaySource(src, d.Hooks())
 }

@@ -1,8 +1,38 @@
 package trace
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
+
+// TestReplayContextCancel asserts a cancelled context aborts the pass at
+// the next day boundary with context.Canceled: the day-end hook for the
+// boundary after the cancellation never fires.
+func TestReplayContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var days []int32
+	st := NewState(8, 8)
+	err := ReplaySourceIntoContext(ctx, st, SliceSource(tinyTrace()), Hooks{
+		OnDayEnd: func(_ *State, day int32) {
+			days = append(days, day)
+			if day == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Days 0 and 1 fired; the cancel lands before day 2's boundary.
+	if len(days) != 2 || days[1] != 1 {
+		t.Fatalf("day-end fired for %v, want [0 1]", days)
+	}
+	// A nil context must keep the uncancellable fast path intact.
+	if err := ReplaySourceIntoContext(nil, NewState(8, 8), SliceSource(tinyTrace()), Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestReplayBuildsState(t *testing.T) {
 	st, err := Replay(tinyTrace(), Hooks{})

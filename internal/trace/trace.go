@@ -129,10 +129,38 @@ var (
 // non-decreasing days, dense node ids assigned in arrival order, edges only
 // between existing distinct nodes, and no duplicate edges.
 func Validate(events []Event) error {
+	return ValidateSource(SliceSource(events))
+}
+
+// ValidateSource is Validate over a re-openable event source, consuming
+// exactly one pass. With a FileSource the invariants are checked straight
+// off disk without ever materializing the event slice, so on-disk traces
+// can be validated in O(state) memory.
+func ValidateSource(src Source) error {
+	cur, err := src.Open()
+	if err != nil {
+		return err
+	}
+	verr := validateCursor(cur)
+	if cerr := cur.Close(); verr == nil {
+		verr = cerr
+	}
+	return verr
+}
+
+// validateCursor runs the invariant checks over one pass.
+func validateCursor(cur Cursor) error {
 	var nextNode graph.NodeID
 	day := int32(0)
 	g := graph.New(1024)
-	for i, ev := range events {
+	for i := 0; ; i++ {
+		ev, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		if ev.Day < day {
 			return fmt.Errorf("%w: event %d day %d after day %d", ErrNonMonotoneDay, i, ev.Day, day)
 		}
@@ -165,5 +193,4 @@ func Validate(events []Event) error {
 			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
 		}
 	}
-	return nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -94,6 +96,60 @@ func TestValidateUnknownKind(t *testing.T) {
 	bad := []Event{{Kind: Kind(9), Day: 0}}
 	if err := Validate(bad); err == nil {
 		t.Fatal("want error for unknown kind")
+	}
+}
+
+// writeTraceFile encodes events into a fresh trace file and returns its
+// path.
+func writeTraceFile(t *testing.T, events []Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "v.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := enc.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestValidateSourceFile validates an on-disk trace straight off disk —
+// the event slice is never materialized — and catches invariant
+// violations the same way the in-memory path does.
+func TestValidateSourceFile(t *testing.T) {
+	fs, err := OpenFileSource(writeTraceFile(t, tinyTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSource(fs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The codec enforces day monotonicity at encode time, so smuggle a
+	// structural violation it cannot see: an edge between unknown nodes.
+	bad := []Event{
+		{Kind: AddNode, Day: 0, U: 0},
+		{Kind: AddEdge, Day: 0, U: 0, V: 7},
+	}
+	fs, err = OpenFileSource(writeTraceFile(t, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSource(fs); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
 	}
 }
 

@@ -14,6 +14,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/trace"
@@ -41,10 +43,26 @@ type (
 	Result = core.Result
 	// Table is one figure panel's data.
 	Table = core.Table
+	// FigurePlan is a resolved, dependency-closed stage set — the unit of
+	// execution of the demand-driven pipeline.
+	FigurePlan = core.FigurePlan
+	// StageSpec describes one registered analysis stage (name, figures,
+	// dependencies).
+	StageSpec = core.StageSpec
+	// MergeAccuracy is the overall Fig 6b merge-prediction evaluation.
+	MergeAccuracy = core.MergeAccuracy
 )
 
 // AllFigures lists every reproducible figure panel id.
 var AllFigures = core.AllFigures
+
+// Figure-lookup errors, re-exported for errors.Is.
+var (
+	// ErrUnknownFigure is returned for ids outside AllFigures.
+	ErrUnknownFigure = core.ErrUnknownFigure
+	// ErrStageSkipped is returned when a figure's stage did not run.
+	ErrStageSkipped = core.ErrStageSkipped
+)
 
 // DefaultGenConfig returns the scaled default Renren+5Q scenario
 // (771 days, merge on day 386, ≈10^5 nodes).
@@ -90,6 +108,48 @@ func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
 // O(events) artifact is the file itself.
 func RunSource(src MetaSource, cfg Pipeline) (*Result, error) { return core.RunSource(src, cfg) }
 
+// RunContext is Run with cancellation: ctx is checked at every day
+// boundary of every replay pass (the shared streaming pass and each
+// δ-sweep pass), and a cancelled run returns ctx's error and no Result.
+func RunContext(ctx context.Context, tr *Trace, cfg Pipeline) (*Result, error) {
+	return core.RunPlan(ctx, tr.Source(), cfg, nil)
+}
+
+// RunSourceContext is RunSource with cancellation, as in RunContext.
+func RunSourceContext(ctx context.Context, src MetaSource, cfg Pipeline) (*Result, error) {
+	return core.RunPlan(ctx, src, cfg, nil)
+}
+
+// Plan resolves the minimal dependency-closed stage set that produces the
+// requested figure panels; unknown ids fail at plan time with
+// ErrUnknownFigure. With no ids the plan covers everything cfg enables.
+func Plan(cfg Pipeline, figures ...string) (*FigurePlan, error) {
+	return core.Plan(cfg, figures...)
+}
+
+// RunPlan executes a resolved plan over a source; a nil plan runs
+// everything cfg enables. See RunContext for the cancellation contract.
+func RunPlan(ctx context.Context, src MetaSource, cfg Pipeline, plan *FigurePlan) (*Result, error) {
+	return core.RunPlan(ctx, src, cfg, plan)
+}
+
+// RunFigures is the demand-driven entry point: it plans and runs exactly
+// the stages the requested panels need, so serving one figure pays for one
+// figure's analyses, not all 30.
+//
+//	res, _ := repro.RunFigures(ctx, tr.Source(), cfg, "fig3c")
+//	tab, _ := res.Figure("fig3c")
+func RunFigures(ctx context.Context, src MetaSource, cfg Pipeline, figures ...string) (*Result, error) {
+	return core.RunFigures(ctx, src, cfg, figures...)
+}
+
+// Registry returns the registered stage specs in execution order — the
+// figure id → stage mapping.
+func Registry() []StageSpec { return core.Registry() }
+
+// StageFor returns the name of the stage that produces the figure id.
+func StageFor(id string) (string, error) { return core.StageFor(id) }
+
 // RunBatch executes the pipeline through the per-analysis batch entry
 // points (one replay per analysis). It produces identical results to Run
 // and exists as the reference implementation the engine is tested against.
@@ -100,5 +160,11 @@ func GenerateAndRun(gcfg GenConfig, cfg Pipeline) (*Trace, *Result, error) {
 	return core.GenerateAndRun(gcfg, cfg)
 }
 
-// Validate checks the structural invariants of a trace.
-func Validate(events []Event) error { return trace.Validate(events) }
+// Validate checks the structural invariants of an in-memory trace. It is a
+// thin wrapper over ValidateSource.
+func Validate(events []Event) error { return trace.ValidateSource(trace.SliceSource(events)) }
+
+// ValidateSource checks the structural invariants of a trace streamed from
+// a re-openable source — with a source from OpenTraceFile the on-disk
+// trace is validated in one pass without materializing the event slice.
+func ValidateSource(src Source) error { return trace.ValidateSource(src) }
