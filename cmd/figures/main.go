@@ -7,7 +7,7 @@
 //	figures -only fig3c                 # one panel, minimal stage plan
 //	figures -only fig3c,fig5a           # two panels, union of their stages
 //	figures -fig all -preset default    # every panel at the default scale
-//	figures -only fig4a -sweep 0.01,0.1 # the δ sweep panels
+//	figures -only fig4a -deltas 0.01,0.04,0.16 # the δ sweep panels
 //	figures -list                       # figure id -> producing stage
 //	figures -preset large -encode renren.trace   # stream-generate to disk
 //	figures -trace renren.trace -only fig8c      # replay off disk, O(state) memory
@@ -23,7 +23,6 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -41,7 +40,9 @@ func main() {
 	preset := flag.String("preset", "small", "generator preset when no trace file is given: small, default, or large")
 	tracePath := flag.String("trace", "", "optional trace file, replayed off disk (overrides -preset)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	sweep := flag.String("sweep", "", "comma-separated δ values; required for fig4*")
+	deltas := flag.String("deltas", "", "comma-separated Louvain δ values for the fig4 sweep, e.g. 0.01,0.04,0.16 (default: the paper grid)")
+	sweep := flag.String("sweep", "", "deprecated alias for -deltas")
+	progress := flag.Bool("progress", false, "write a day/event progress line to stderr while the shared pass replays")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
 	encode := flag.String("encode", "", "stream the generated trace to this file and exit (no analysis)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
@@ -132,16 +133,23 @@ func main() {
 	// δ values must be in place before planning — a fig4 request with an
 	// empty sweep is rejected at plan time. Setting the default grid is
 	// free when the sweep stage doesn't make the plan.
-	if *sweep != "" {
-		for _, s := range strings.Split(*sweep, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				log.Fatalf("bad sweep value %q: %v", s, err)
-			}
-			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
+	deltaSpec := *deltas
+	if deltaSpec == "" {
+		deltaSpec = *sweep // deprecated alias
+	}
+	if deltaSpec != "" {
+		vs, err := core.ParseDeltaSweep(deltaSpec)
+		if err != nil {
+			log.Fatal(err)
 		}
+		cfg.DeltaSweep = vs
 	} else {
 		cfg.DeltaSweep = []float64{0.0001, 0.01, 0.04, 0.1, 0.3}
+	}
+	if *progress {
+		cfg.OnProgress = func(day int32, events int64) {
+			fmt.Fprintf(os.Stderr, "\rday %d/%d, %d events", day, meta.Days, events)
+		}
 	}
 	plan, err := core.Plan(cfg, ids...)
 	if err != nil {
@@ -181,6 +189,9 @@ func main() {
 	}
 
 	res, err := core.RunPlan(ctx, src, cfg, plan)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the \r progress line
+	}
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuOut.Close(); cerr != nil {

@@ -6,8 +6,8 @@
 //
 //	rranalyze -trace renren.trace -out figures/
 //	rranalyze -trace renren.trace -out figures/ -only fig3c,fig5a
-//	rranalyze -trace renren.trace -out figures/ -sweep 0.0001,0.01,0.04,0.1,0.3
-//	rranalyze -trace renren.trace -validate -out figures/
+//	rranalyze -trace renren.trace -out figures/ -deltas 0.0001,0.01,0.04,0.1,0.3
+//	rranalyze -trace renren.trace -validate -progress -out figures/
 package main
 
 import (
@@ -32,7 +32,9 @@ func main() {
 	tracePath := flag.String("trace", "", "input trace file (required)")
 	outDir := flag.String("out", "figures", "output directory for per-figure TSVs")
 	only := flag.String("only", "", "comma-separated figure ids; plans and runs exactly the stages they need")
-	sweep := flag.String("sweep", "", "comma-separated δ values for the Fig 4 sweep (expensive)")
+	deltas := flag.String("deltas", "", "comma-separated Louvain δ values for the Fig 4 sweep, e.g. 0.01,0.04,0.16")
+	sweep := flag.String("sweep", "", "deprecated alias for -deltas")
+	progress := flag.Bool("progress", false, "write a day/event progress line to stderr while the shared pass replays")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
 	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
@@ -79,13 +81,20 @@ func main() {
 			log.Fatalf("unknown stage %q", s)
 		}
 	}
-	if *sweep != "" {
-		for _, d := range strings.Split(*sweep, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
-			if err != nil {
-				log.Fatalf("bad sweep value %q: %v", d, err)
-			}
-			cfg.DeltaSweep = append(cfg.DeltaSweep, v)
+	deltaSpec := *deltas
+	if deltaSpec == "" {
+		deltaSpec = *sweep // deprecated alias
+	}
+	if deltaSpec != "" {
+		vs, err := core.ParseDeltaSweep(deltaSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.DeltaSweep = vs
+	}
+	if *progress {
+		cfg.OnProgress = func(day int32, events int64) {
+			fmt.Fprintf(os.Stderr, "\rday %d/%d, %d events", day, meta.Days, events)
 		}
 	}
 
@@ -108,6 +117,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := core.RunPlan(ctx, src, cfg, plan)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the \r progress line
+	}
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}

@@ -37,8 +37,46 @@ type Options struct {
 	// Seed drives Louvain's node-visiting order.
 	Seed int64
 	// SizeDistDays lists days whose community size distributions should
-	// be retained (Figs 4c, 5a).
+	// be retained (Figs 4c, 5a). A requested day that falls between
+	// snapshots is served by the nearest scheduled snapshot day
+	// (SnapToSnapshotDay) and recorded in Result.SizeDists under the
+	// requested day; it stays absent only if that snapshot never runs
+	// (graph below MinNodes, or trace too short).
 	SizeDistDays []int32
+}
+
+// withDefaults fills Run's defaults into zero-valued knobs.
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 3
+	}
+	if o.MinSize <= 0 {
+		o.MinSize = 10
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.04
+	}
+	return o
+}
+
+// due reports whether day is on the snapshot schedule with a graph large
+// enough to detect on. It must be called on defaulted options.
+func (o Options) due(day int32, nodes int) bool {
+	return day >= o.StartDay && (day-o.StartDay)%o.SnapshotEvery == 0 && nodes >= o.MinNodes
+}
+
+// SnapToSnapshotDay returns the scheduled snapshot day nearest to d: days
+// at or before StartDay snap to StartDay, and a day exactly halfway
+// between two snapshots rounds up. The snapped day is still subject to
+// the MinNodes gate and the trace's length — a size distribution is only
+// recorded if that snapshot actually runs.
+func (o Options) SnapToSnapshotDay(d int32) int32 {
+	o = o.withDefaults()
+	if d <= o.StartDay {
+		return o.StartDay
+	}
+	k := (d - o.StartDay + o.SnapshotEvery/2) / o.SnapshotEvery
+	return o.StartDay + k*o.SnapshotEvery
 }
 
 // DefaultOptions mirrors the paper's parameters.
@@ -94,13 +132,16 @@ func Run(events []trace.Event, opt Options) (*Result, error) {
 }
 
 // RunSource is Run over a re-openable event source; it consumes exactly
-// one pass. The δ-sweep opens one concurrent pass per δ through here.
+// one pass. This re-open-per-δ form is the δ-sweep's retained reference
+// path (RunBatch still opens one pass per δ through here); the streaming
+// sweep itself runs as SweepStage off one shared pass and is held
+// bit-identical to this path by TestSweepMatchesPerPass.
 func RunSource(src trace.Source, opt Options) (*Result, error) {
 	return RunSourceContext(nil, src, opt)
 }
 
-// RunSourceContext is RunSource with cancellation: the replay checks ctx at
-// every day boundary, so a δ-sweep pass fanned out on the worker pool stops
+// RunSourceContext is RunSource with cancellation: the replay checks ctx
+// at every day boundary, so a pass fanned out on a worker pool stops
 // promptly (with ctx.Err()) when its pipeline run is cancelled. A nil ctx
 // disables the checks.
 func RunSourceContext(ctx context.Context, src trace.Source, opt Options) (*Result, error) {

@@ -1,50 +1,27 @@
 package community
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/louvain"
 	"repro/internal/trace"
-	"repro/internal/tracking"
 )
 
-// Stage is the streaming form of Run: the snapshot pipeline (incremental
-// Louvain + similarity tracking) driven by day-end callbacks from the
-// engine's single shared pass.
+// Stage is the streaming form of Run: the snapshot pipeline driven by
+// day-end callbacks from the engine's single shared pass. It is the
+// single-δ composition of the pipeline's two layers — the engine's shared
+// replay maintains the graph, and a Detector (incremental Louvain +
+// similarity tracking) consumes it directly on the snapshot schedule, with
+// no frozen copy in between. The δ-sweep's multi-δ composition is
+// SweepStage.
 type Stage struct {
-	opt      Options
-	wantDist map[int32]bool
-	tracker  *tracking.Tracker
-	prevComm []int32
-	res      *Result
-	err      error
-	done     bool
+	det *Detector
 }
 
 // NewStage creates a streaming community-pipeline stage with Run's
 // defaulting.
 func NewStage(opt Options) *Stage {
-	if opt.SnapshotEvery <= 0 {
-		opt.SnapshotEvery = 3
-	}
-	if opt.MinSize <= 0 {
-		opt.MinSize = 10
-	}
-	if opt.Delta <= 0 {
-		opt.Delta = 0.04
-	}
-	s := &Stage{
-		opt:      opt,
-		wantDist: map[int32]bool{},
-		tracker:  tracking.NewTracker(opt.MinSize),
-		res:      &Result{Opt: opt, SizeDists: map[int32][]int{}},
-	}
-	for _, d := range opt.SizeDistDays {
-		s.wantDist[d] = true
-	}
-	return s
+	return &Stage{det: NewDetector(opt)}
 }
 
 // StageName and UsersStageName are the planner registry names of the two
@@ -63,99 +40,18 @@ func (s *Stage) OnEvent(_ *trace.State, _ trace.Event) {}
 // OnDayEnd runs one snapshot when the day is on the schedule and the graph
 // is large enough.
 func (s *Stage) OnDayEnd(st *trace.State, day int32) {
-	if s.err != nil {
-		return
+	if s.det.due(day, st.Graph.NumNodes()) {
+		s.det.Advance(day, st.Graph)
 	}
-	if day < s.opt.StartDay || (day-s.opt.StartDay)%s.opt.SnapshotEvery != 0 {
-		return
-	}
-	if st.Graph.NumNodes() < s.opt.MinNodes {
-		return
-	}
-	// Incremental Louvain: seed with the previous snapshot's assignment;
-	// nodes that joined since get singletons.
-	init := make([]int32, st.Graph.NumNodes())
-	for i := range init {
-		if i < len(s.prevComm) {
-			init[i] = s.prevComm[i]
-		} else {
-			init[i] = -1
-		}
-	}
-	if s.prevComm == nil {
-		init = nil
-	}
-	lr, err := louvain.Run(st.Graph, louvain.Options{
-		Delta:     s.opt.Delta,
-		MaxLevels: s.opt.MaxLevels,
-		Seed:      s.opt.Seed,
-		Init:      init,
-	})
-	if err != nil {
-		s.err = fmt.Errorf("community: louvain at day %d: %w", day, err)
-		return
-	}
-	s.prevComm = lr.Community
-	snap := s.tracker.Advance(day, st.Graph, tracking.Assignment(lr.Community))
-	s.res.Final = snap
-
-	stat := SnapshotStat{
-		Day:            day,
-		Nodes:          st.Graph.NumNodes(),
-		Edges:          st.Graph.NumEdges(),
-		Modularity:     lr.Modularity,
-		AvgSimilarity:  snap.AvgSimilarity,
-		NumCommunities: len(snap.Communities),
-	}
-	// Top-5 coverage and size distribution.
-	sizes := make([]int, 0, len(snap.Communities))
-	for _, nodes := range snap.Communities {
-		sizes = append(sizes, len(nodes))
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
-	top5 := 0
-	for i, sz := range sizes {
-		if i >= 5 {
-			break
-		}
-		top5 += sz
-		if stat.Nodes > 0 {
-			stat.TopCoverage[i] = float64(sz) / float64(stat.Nodes)
-		}
-	}
-	if stat.Nodes > 0 {
-		stat.Top5Coverage = float64(top5) / float64(stat.Nodes)
-	}
-	if s.wantDist[day] {
-		s.res.SizeDists[day] = sizes
-	}
-	s.res.Stats = append(s.res.Stats, stat)
-	s.res.LastDay = day
 }
 
 // Finish seals the pipeline: it reports any Louvain error, ErrNoSnapshots
 // for traces that never reached snapshot size, and otherwise attaches the
 // tracker's event log and histories to the result.
-func (s *Stage) Finish(_ *trace.State) error {
-	if s.err != nil {
-		return s.err
-	}
-	if len(s.res.Stats) == 0 {
-		return ErrNoSnapshots
-	}
-	s.res.Events = s.tracker.Events()
-	s.res.Histories = s.tracker.Histories()
-	s.done = true
-	return nil
-}
+func (s *Stage) Finish(_ *trace.State) error { return s.det.Finish() }
 
 // Result returns the pipeline output after a successful Finish; nil before.
-func (s *Stage) Result() *Result {
-	if !s.done {
-		return nil
-	}
-	return s.res
-}
+func (s *Stage) Result() *Result { return s.det.Result() }
 
 // nodeActivity is UsersStage's per-node accumulator.
 type nodeActivity struct {

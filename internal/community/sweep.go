@@ -1,0 +1,149 @@
+package community
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/louvain"
+	"repro/internal/trace"
+)
+
+// SweepStageName is the planner registry name of the δ-sweep stage.
+const SweepStageName = "sweep"
+
+// SweepStage runs the Fig 4 δ-sensitivity sweep as a single subscriber to
+// the shared engine pass, splitting the community pipeline into its two
+// layers. The graph-maintenance layer is the engine's one evolving shared
+// graph plus this stage's snapshot schedule: at every scheduled snapshot
+// day the stage freezes the graph into a compact read-only CSR view
+// (graph.Frozen, built once per snapshot day). The per-δ detection layer
+// is one Detector per δ — Louvain seed chain and tracking state only —
+// fanned out on the worker pool against that shared frozen view.
+//
+// A K-δ sweep therefore costs exactly one replay pass and one live graph,
+// plus K lightweight detector states, instead of the 1+K passes and 1+K
+// live graphs of the re-open-per-δ reference path (community.RunSource per
+// δ, retained as the equivalence baseline — TestSweepMatchesPerPass holds
+// the two bit-identical).
+//
+// The stage implements engine.Syncer for the engine's per-snapshot
+// barrier: Sync — called at every day boundary, before the next day's
+// events mutate the shared graph — joins the previous snapshot's in-flight
+// detector tasks (honoring ctx cancellation) before freezing the next
+// snapshot. That bounds the live frozen views at one per sweep no matter
+// how far the replay runs ahead, and keeps each detector's snapshot
+// sequence strictly ordered (day D's Louvain seeds from the previous
+// snapshot's assignment).
+type SweepStage struct {
+	opt    Options
+	deltas []float64
+	dets   []*Detector
+	pool   *engine.Pool
+
+	done        chan struct{} // one token per finished detector task
+	outstanding int           // launched but not yet joined; engine goroutine only
+}
+
+// NewSweepStage creates the multi-δ community stage: opt carries the
+// shared snapshot schedule and tracking knobs (its Delta is ignored),
+// deltas the per-detector Louvain thresholds in result order, and pool the
+// worker pool the per-snapshot detector tasks fan out on.
+func NewSweepStage(opt Options, deltas []float64, pool *engine.Pool) *SweepStage {
+	opt = opt.withDefaults()
+	s := &SweepStage{
+		opt:    opt,
+		deltas: append([]float64(nil), deltas...),
+		pool:   pool,
+		done:   make(chan struct{}, len(deltas)),
+	}
+	for _, delta := range s.deltas {
+		o := opt
+		o.Delta = delta
+		s.dets = append(s.dets, NewDetector(o))
+	}
+	return s
+}
+
+// Name implements engine.Stage.
+func (s *SweepStage) Name() string { return SweepStageName }
+
+// OnEvent implements engine.Stage; the sweep is snapshot-driven.
+func (s *SweepStage) OnEvent(_ *trace.State, _ trace.Event) {}
+
+// OnDayEnd implements engine.Stage. Snapshot work happens in Sync, which
+// the engine calls right after with the run's context, so the barrier wait
+// stays cancellable.
+func (s *SweepStage) OnDayEnd(_ *trace.State, _ int32) {}
+
+// Sync implements engine.Syncer: on snapshot days it joins the previous
+// snapshot's detector tasks, freezes the shared graph, and fans one task
+// per δ out against the frozen view.
+func (s *SweepStage) Sync(ctx context.Context, st *trace.State, day int32) error {
+	if len(s.dets) == 0 || !s.opt.due(day, st.Graph.NumNodes()) {
+		return nil
+	}
+	if err := s.join(ctx); err != nil {
+		return err
+	}
+	// One frozen CSR view for the trackers plus one prepared Louvain view,
+	// both built once here and shared read-only by every δ worker.
+	frozen := st.Graph.Freeze()
+	prep := louvain.Prepare(frozen)
+	for _, det := range s.dets {
+		det := det
+		s.outstanding++
+		s.pool.Go(func() error {
+			defer func() { s.done <- struct{}{} }()
+			// A cancelled run skips the snapshot: the aborted pass never
+			// reads detector results, and joins only count tokens.
+			if ctx == nil || ctx.Err() == nil {
+				det.AdvancePrepared(day, frozen, prep)
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+// join blocks until every in-flight detector task has finished. A nil ctx
+// waits unconditionally (the post-pass join in Finish); otherwise a
+// cancellation during the wait returns ctx.Err() with the remaining tasks
+// still counted as outstanding — the run is aborting, and the pool drain
+// collects them.
+func (s *SweepStage) join(ctx context.Context) error {
+	for s.outstanding > 0 {
+		if ctx == nil {
+			<-s.done
+		} else {
+			select {
+			case <-s.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		s.outstanding--
+	}
+	return nil
+}
+
+// Finish implements engine.Stage: it joins the final snapshot's tasks and
+// seals every detector, reporting the first per-δ error (ErrNoSnapshots
+// when the trace never reached snapshot size, exactly like the per-pass
+// path).
+func (s *SweepStage) Finish(_ *trace.State) error {
+	s.join(nil)
+	for i, det := range s.dets {
+		if err := det.Finish(); err != nil {
+			return fmt.Errorf("δ=%v: %w", s.deltas[i], err)
+		}
+	}
+	return nil
+}
+
+// Deltas returns the sweep's δ values in result order.
+func (s *SweepStage) Deltas() []float64 { return append([]float64(nil), s.deltas...) }
+
+// Result returns the i-th δ's pipeline result after a successful Finish;
+// nil before.
+func (s *SweepStage) Result(i int) *Result { return s.dets[i].Result() }

@@ -1,0 +1,176 @@
+package community
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// sweepTrace generates a small merge trace for sweep tests.
+func sweepTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := gen.SmallConfig()
+	cfg.Days = 160
+	tr, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSweepMatchesPerPass is the shared-snapshot sweep's correctness
+// guarantee: for every δ, the SweepStage run off one shared pass (frozen
+// CSR snapshots, pool fan-out, per-snapshot barrier) must be bit-identical
+// — stats, size distributions, tracking events, and histories — to the
+// retained re-open-per-δ reference path (RunSource per δ).
+func TestSweepMatchesPerPass(t *testing.T) {
+	tr := sweepTrace(t)
+	deltas := []float64{0.01, 0.04, 0.16}
+	opt := DefaultOptions()
+	// 139 is off the snapshot grid (StartDay 20, every 3 ⇒ snapshots at
+	// 20, 23, …, 140, …); it must be served by its nearest snapshot day,
+	// 140, and recorded under the requested day 139 — on both paths.
+	opt.SizeDistDays = []int32{110, 139}
+
+	pool := engine.NewPool(0)
+	sw := NewSweepStage(opt, deltas, pool)
+	eng := engine.New()
+	eng.Subscribe(sw)
+	if _, err := eng.RunSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Deltas(); !reflect.DeepEqual(got, deltas) {
+		t.Fatalf("Deltas() = %v, want %v", got, deltas)
+	}
+
+	for i, d := range deltas {
+		o := opt
+		o.Delta = d
+		ref, err := RunSource(tr.Source(), o)
+		if err != nil {
+			t.Fatalf("δ=%v reference: %v", d, err)
+		}
+		got := sw.Result(i)
+		if got == nil {
+			t.Fatalf("δ=%v: no sweep result", d)
+		}
+		if !reflect.DeepEqual(got.Stats, ref.Stats) {
+			t.Errorf("δ=%v: snapshot stats differ\nsweep: %+v\nref:   %+v", d, got.Stats, ref.Stats)
+		}
+		if !reflect.DeepEqual(got.SizeDists, ref.SizeDists) {
+			t.Errorf("δ=%v: size dists differ: %v vs %v", d, got.SizeDists, ref.SizeDists)
+		}
+		if _, ok := got.SizeDists[139]; !ok {
+			t.Errorf("δ=%v: off-grid SizeDistDay 139 not served by its nearest snapshot", d)
+		}
+		if !reflect.DeepEqual(got.Events, ref.Events) {
+			t.Errorf("δ=%v: tracking events differ (%d vs %d)", d, len(got.Events), len(ref.Events))
+		}
+		if !reflect.DeepEqual(got.Histories, ref.Histories) {
+			t.Errorf("δ=%v: histories differ (%d vs %d)", d, len(got.Histories), len(ref.Histories))
+		}
+		if got.LastDay != ref.LastDay {
+			t.Errorf("δ=%v: last day %d vs %d", d, got.LastDay, ref.LastDay)
+		}
+		if !reflect.DeepEqual(got.Final.NodeCommunity, ref.Final.NodeCommunity) {
+			t.Errorf("δ=%v: final node-community maps differ", d)
+		}
+	}
+}
+
+// TestSweepCancelMidSnapshot drives the cancellation path through the
+// per-snapshot barrier: the pool's only worker is blocked so the first
+// snapshot's detector tasks can never finish, and the run is cancelled
+// while the next snapshot's Sync is waiting on them. The barrier wait must
+// return ctx.Err() promptly — aborting the replay at that day boundary
+// with no Finish and no results — and the skipped tasks must still drain.
+func TestSweepCancelMidSnapshot(t *testing.T) {
+	tr := sweepTrace(t)
+	deltas := []float64{0.01, 0.04}
+	opt := DefaultOptions()
+
+	pool := engine.NewPool(1)
+	block := make(chan struct{})
+	pool.Go(func() error { <-block; return nil }) // occupy the only worker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sw := NewSweepStage(opt, deltas, pool)
+	eng := engine.New()
+	eng.Subscribe(sw)
+	// Cancel at the second snapshot day, after the sweep's OnDayEnd but
+	// before the engine's sync point: Sync then hits the barrier with the
+	// first snapshot's tasks still queued behind the blocked worker.
+	cancelDay := opt.StartDay + opt.SnapshotEvery
+	eng.Subscribe(engine.Funcs{
+		StageName: "canceler",
+		DayEnd: func(_ *trace.State, day int32) {
+			if day == cancelDay {
+				cancel()
+			}
+		},
+	})
+
+	_, err := eng.RunSourceContext(ctx, tr.Source())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	if err := pool.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range deltas {
+		if sw.Result(i) != nil {
+			t.Fatalf("δ index %d: got a result from a cancelled run", i)
+		}
+	}
+}
+
+// TestSweepNoSnapshots asserts the shared-snapshot path reports
+// ErrNoSnapshots per δ exactly like the per-pass path when the trace never
+// reaches snapshot size.
+func TestSweepNoSnapshots(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.AddNode, Day: 0, U: 0},
+		{Kind: trace.AddNode, Day: 0, U: 1},
+		{Kind: trace.AddEdge, Day: 30, U: 0, V: 1},
+	}
+	pool := engine.NewPool(0)
+	sw := NewSweepStage(DefaultOptions(), []float64{0.04}, pool)
+	eng := engine.New()
+	eng.Subscribe(sw)
+	_, err := eng.RunSource(trace.SliceSource(events))
+	if !errors.Is(err, ErrNoSnapshots) {
+		t.Fatalf("err = %v, want ErrNoSnapshots", err)
+	}
+	if err := pool.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapToSnapshotDay pins the SizeDistDays snapping rule: nearest
+// scheduled day, StartDay floor, half-way ties rounding up.
+func TestSnapToSnapshotDay(t *testing.T) {
+	opt := Options{StartDay: 20, SnapshotEvery: 3}
+	cases := []struct{ in, want int32 }{
+		{0, 20}, {20, 20}, {21, 20}, {22, 23}, {23, 23}, {139, 140}, {251, 251},
+	}
+	for _, c := range cases {
+		if got := opt.SnapToSnapshotDay(c.in); got != c.want {
+			t.Errorf("snap(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	even := Options{StartDay: 10, SnapshotEvery: 4}
+	if got := even.SnapToSnapshotDay(12); got != 14 {
+		t.Errorf("half-way tie snap(12) = %d, want 14 (rounds up)", got)
+	}
+}

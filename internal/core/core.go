@@ -9,6 +9,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/community"
 	"repro/internal/evolution"
@@ -63,9 +65,9 @@ type Config struct {
 
 	// OnProgress, when non-nil, is invoked at every day boundary of the
 	// shared streaming pass with the finished day and the cumulative
-	// number of events applied. It observes the main pass only (δ-sweep
-	// passes run concurrently on the pool) and must not block: it runs on
-	// the replay's goroutine.
+	// number of events applied. Since the δ-sweep also rides the shared
+	// pass, this observes the whole run's replay. It must not block: it
+	// runs on the replay's goroutine.
 	OnProgress func(day int32, events int64)
 }
 
@@ -83,6 +85,20 @@ func DefaultConfig() Config {
 		Merge:             osnmerge.DefaultOptions(),
 		Seed:              1,
 	}
+}
+
+// ParseDeltaSweep parses a comma-separated δ list — the textual form of
+// Config.DeltaSweep used by the CLIs' -deltas flags.
+func ParseDeltaSweep(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad δ value %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // GrowthDay is one day of the Fig 1a/1b series.
@@ -171,10 +187,11 @@ func applyMergePrediction(res *Result, cr *community.Result, mergeDay int32, see
 }
 
 // Run executes the configured pipeline stages over the trace on the
-// streaming engine: every non-sweep stage subscribes to one shared replay
-// pass, while the δ-sweep's per-δ community pipelines and the SVM
-// merge-prediction evaluation fan out across a bounded worker pool. The
-// result is identical to RunBatch's (the equivalence is enforced by
+// streaming engine: every stage — the δ-sweep included — subscribes to
+// one shared replay pass. The sweep's per-δ detectors run against frozen
+// snapshots of the shared graph on a bounded worker pool, and the SVM
+// merge-prediction evaluation joins that pool after the pass. The result
+// is identical to RunBatch's (the equivalence is enforced by
 // TestEngineMatchesBatch); only the pass structure differs.
 //
 // Run translates the deprecated Skip* toggles into a plan; demand-driven
@@ -189,10 +206,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 
 // RunSource is Run over a re-openable event source — the out-of-core
 // entry point. With a disk-backed trace.FileSource the only O(events)
-// artifact is the file itself: the shared streaming pass and every
-// δ-sweep pass each open their own cursor, so resident memory is the live
-// trace.State plus per-stage accumulators (O(state), asserted by the
-// replay-memory benchmark on gen.LargeConfig). The source's Meta gates
+// artifact is the file itself: the single shared pass opens one cursor
+// (the δ-sweep no longer opens its own), so resident memory is the live
+// trace.State plus per-stage accumulators — O(state) with exactly one
+// live graph regardless of how many δ values sweep (asserted by the
+// replay-memory and delta-sweep benchmarks). The source's Meta gates
 // the merge stage and sizes the state, exactly as a Trace's Meta does.
 //
 // Like Run, this is a Skip*-translating shim over RunPlan.

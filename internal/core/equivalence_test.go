@@ -62,8 +62,9 @@ func compareTables(t *testing.T, id string, eng, bat *Table) {
 // TestEngineMatchesBatch is the tentpole's equivalence guarantee: the
 // single-pass streaming engine (Run) and the multi-pass batch reference
 // (RunBatch) must produce identical figure tables on the same seeded trace,
-// and the engine must make exactly one replay pass for all non-sweep stages
-// plus one per δ-sweep entry.
+// and the engine must make exactly ONE replay pass for everything — the
+// δ-sweep included, since its per-δ detectors now run off frozen snapshots
+// of the shared pass's graph instead of replaying per δ.
 func TestEngineMatchesBatch(t *testing.T) {
 	tr, err := gen.Generate(gen.SmallConfig())
 	if err != nil {
@@ -86,8 +87,8 @@ func TestEngineMatchesBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := passes.Load(), int64(1+len(cfg.DeltaSweep)); got != want {
-		t.Errorf("replay passes = %d, want %d (1 shared pass + 1 per sweep δ)", got, want)
+	if got, want := passes.Load(), int64(1); got != want {
+		t.Errorf("replay passes = %d, want %d (one shared pass, δ-sweep included)", got, want)
 	}
 
 	batRes, err := RunBatch(tr, cfg)

@@ -31,11 +31,10 @@ type StageSpec struct {
 	Figures []string
 
 	// subscribe instantiates the stage and subscribes it to the shared
-	// engine pass; stages that only fan out (sweep, svm) leave it nil.
+	// engine pass; the one stage that only runs after it (svm) leaves it
+	// nil. The δ-sweep subscribes too — it fans per-snapshot detector
+	// tasks out on the pool from inside the pass (community.SweepStage).
 	subscribe func(rt *planRT, eng *engine.Engine)
-	// fanout submits pool tasks that run concurrently with the shared
-	// pass, each re-opening the source for a pass of its own (the δ-sweep).
-	fanout func(ctx context.Context, rt *planRT, pool *engine.Pool, src trace.Source)
 	// afterPass submits pool tasks that depend on the shared pass having
 	// finished (the SVM evaluation reads the community stage's result).
 	afterPass func(ctx context.Context, rt *planRT, pool *engine.Pool)
@@ -53,6 +52,10 @@ type planRT struct {
 	cfg  Config
 	meta trace.Meta
 	res  *Result
+	// pool is the run's bounded worker pool: the δ-sweep's per-snapshot
+	// detector tasks and the post-pass SVM evaluation fan out on it; run
+	// drains it before harvesting.
+	pool *engine.Pool
 
 	metrics *metrics.Stage
 	evo     *evolution.Stage
@@ -60,7 +63,7 @@ type planRT struct {
 	comm    *community.Stage
 	users   *community.UsersStage
 	merge   *osnmerge.Stage
-	sweep   []*DeltaRun
+	sweep   *community.SweepStage
 }
 
 // stageRegistry lists every stage spec in execution order: subscription
@@ -172,36 +175,38 @@ var stageRegistry = []*StageSpec{
 		},
 	},
 	{
-		Name:    "sweep",
+		Name:    community.SweepStageName,
 		Figures: []string{"fig4a", "fig4b", "fig4c"},
-		fanout: func(ctx context.Context, rt *planRT, pool *engine.Pool, src trace.Source) {
-			// The δ-sweep needs one community pipeline per δ with its own
-			// incremental Louvain state, so the runs cannot share the
-			// engine's pass; they fan out on the pool while the main pass
-			// runs, each re-opening the source for a concurrent pass.
-			rt.sweep = make([]*DeltaRun, len(rt.cfg.DeltaSweep))
-			for i, d := range rt.cfg.DeltaSweep {
-				opt := rt.cfg.Community
-				opt.Delta = d
-				pool.GoContext(ctx, func() error {
-					dr, err := community.RunSourceContext(ctx, src, opt)
-					if err != nil {
-						return fmt.Errorf("core: delta sweep δ=%v: %w", d, err)
-					}
-					run := &DeltaRun{Delta: d, Stats: dr.Stats}
-					if len(opt.SizeDistDays) > 0 {
-						run.SizeDist = dr.SizeDists[opt.SizeDistDays[len(opt.SizeDistDays)-1]]
-					}
-					rt.sweep[i] = run
-					return nil
-				})
+		subscribe: func(rt *planRT, eng *engine.Engine) {
+			// The δ-sweep subscribes to the same shared pass as every
+			// other stage: the engine maintains the single evolving graph,
+			// and at each snapshot day the stage freezes it once and fans
+			// the per-δ detectors out on the pool against the frozen view
+			// — one replay and one graph for the whole sweep, instead of
+			// re-opening the source per δ. Skip*-translated plans reach
+			// here with an empty δ list; nothing runs then (matching the
+			// historic no-op fan-out).
+			if len(rt.cfg.DeltaSweep) == 0 {
+				return
 			}
+			rt.sweep = community.NewSweepStage(rt.cfg.Community, rt.cfg.DeltaSweep, rt.pool)
+			eng.Subscribe(rt.sweep)
 		},
 		harvest: func(rt *planRT) {
-			for _, run := range rt.sweep {
-				if run != nil {
-					rt.res.DeltaSweep = append(rt.res.DeltaSweep, *run)
+			if rt.sweep == nil {
+				return
+			}
+			opt := rt.cfg.Community
+			for i, d := range rt.cfg.DeltaSweep {
+				dr := rt.sweep.Result(i)
+				if dr == nil {
+					continue
 				}
+				run := DeltaRun{Delta: d, Stats: dr.Stats}
+				if len(opt.SizeDistDays) > 0 {
+					run.SizeDist = dr.SizeDists[opt.SizeDistDays[len(opt.SizeDistDays)-1]]
+				}
+				rt.res.DeltaSweep = append(rt.res.DeltaSweep, run)
 			}
 		},
 		emitters: map[string]func(*Result) (*Table, error){
@@ -347,7 +352,7 @@ func Plan(cfg Config, figures ...string) (*FigurePlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownFigure, id)
 		}
-		if e.stage.Name == "sweep" && len(cfg.DeltaSweep) == 0 {
+		if e.stage.Name == community.SweepStageName && len(cfg.DeltaSweep) == 0 {
 			return nil, fmt.Errorf("%w (requested %q)", ErrNoDeltaSweep, id)
 		}
 		if seen[id] {
@@ -373,7 +378,7 @@ func planFromConfig(cfg Config) *FigurePlan {
 		names = append(names, evolution.StageName, evolution.AlphaStageName)
 	}
 	if !cfg.SkipCommunity {
-		names = append(names, community.StageName, community.UsersStageName, "svm", "sweep")
+		names = append(names, community.StageName, community.UsersStageName, "svm", community.SweepStageName)
 	}
 	if !cfg.SkipMerge {
 		names = append(names, osnmerge.StageName)
@@ -452,10 +457,11 @@ type planExec struct {
 }
 
 // instantiate builds the run: defaults the config, constructs each stage
-// from it, and subscribes the shared-pass stages in registry order.
+// from it (the δ-sweep gets the run's worker pool for its per-snapshot
+// fan-out), and subscribes the shared-pass stages in registry order.
 func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	cfg = cfg.withDefaults()
-	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta}}
+	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta}, pool: engine.NewPool(0)}
 	eng := engine.New()
 	eng.Hint(int(meta.Nodes), int(meta.Edges))
 	for _, s := range p.specs {
@@ -464,11 +470,10 @@ func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 		}
 	}
 	// The progress hook observes the shared pass, so it only subscribes
-	// when some analysis stage gives that pass a reason to run — a
-	// sweep-only plan must not pay a full replay just to drive the
-	// callback. By day-end every event has been dispatched to all
-	// subscribers, so position in the subscription order doesn't change
-	// the reported counts.
+	// when some analysis stage gives that pass a reason to run (with an
+	// empty δ list even a sweep-only plan subscribes nothing). By day-end
+	// every event has been dispatched to all subscribers, so position in
+	// the subscription order doesn't change the reported counts.
 	if cfg.OnProgress != nil && eng.Stages() > 0 {
 		var events int64
 		onProgress := cfg.OnProgress
@@ -481,24 +486,19 @@ func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	return &planExec{plan: p, rt: rt, eng: eng}
 }
 
-// run executes the instantiated plan: fan-out tasks launch first (they
-// replay concurrently with the shared pass), the engine runs the shared
-// pass with ctx checked at day boundaries, Finish-dependent tasks join the
-// pool, and harvest copies stage outputs into the Result once the pool is
-// drained. On any error — including ctx cancellation — no Result is
-// returned.
+// run executes the instantiated plan: the engine runs the shared pass
+// with ctx checked at day boundaries (the δ-sweep's per-snapshot detector
+// tasks fan out on the pool from inside that pass), Finish-dependent
+// tasks join the pool after it, and harvest copies stage outputs into the
+// Result once the pool is drained. On any error — including ctx
+// cancellation — no Result is returned.
 func (x *planExec) run(ctx context.Context, src trace.Source) (*Result, error) {
 	// An already-cancelled context must never yield a success Result, even
 	// when the plan has no shared-pass stages or pool tasks to notice it.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	pool := engine.NewPool(0)
-	for _, s := range x.plan.specs {
-		if s.fanout != nil {
-			s.fanout(ctx, x.rt, pool, src)
-		}
-	}
+	pool := x.rt.pool
 	var err error
 	if x.eng.Stages() > 0 {
 		_, err = x.eng.RunSourceContext(ctx, src)
@@ -545,11 +545,12 @@ func runPlan(ctx context.Context, src trace.Source, meta trace.Meta, cfg Config,
 }
 
 // RunPlan executes a resolved plan over a re-openable event source on the
-// streaming engine: the plan's shared-pass stages subscribe to one replay,
-// its fan-out stages (δ-sweep, SVM evaluation) run on the bounded worker
-// pool, and ctx cancels the whole run at the next day boundary of every
-// in-flight pass — RunPlan then returns ctx's error and no Result. A nil
-// plan runs everything the config enables (the Skip* translation).
+// streaming engine: every plan stage — the δ-sweep included — subscribes
+// to one shared replay, with the sweep's per-snapshot detector tasks and
+// the post-pass SVM evaluation fanned out on the bounded worker pool. ctx
+// cancels the whole run at the next day boundary (in-flight snapshot
+// barriers included) — RunPlan then returns ctx's error and no Result. A
+// nil plan runs everything the config enables (the Skip* translation).
 func RunPlan(ctx context.Context, src trace.MetaSource, cfg Config, plan *FigurePlan) (*Result, error) {
 	meta := src.Meta()
 	if meta.Nodes == 0 && meta.Edges == 0 {

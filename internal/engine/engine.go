@@ -34,6 +34,23 @@ type Stage interface {
 	Finish(st *trace.State) error
 }
 
+// Syncer is an optional Stage extension for stages that fan concurrent
+// per-snapshot work out against a frozen view of the shared state (the
+// δ-sweep's community.SweepStage). The engine calls Sync after every day's
+// OnDayEnd callbacks and before the next day's events mutate the shared
+// graph — the per-snapshot barrier: a stage joins tasks still in flight
+// from its previous snapshot there, then freezes the state and fans the
+// next snapshot out, so replay never runs more than one snapshot ahead of
+// the slowest worker.
+//
+// ctx is the run's context; a blocking barrier wait must honor its
+// cancellation and return ctx.Err(). Any non-nil error from Sync cancels
+// the replay at the current day boundary (no further events are applied,
+// no stage Finish runs) and is returned by the engine.
+type Syncer interface {
+	Sync(ctx context.Context, st *trace.State, day int32) error
+}
+
 // Funcs adapts plain functions to the Stage interface; any field may be nil.
 type Funcs struct {
 	StageName string
@@ -122,14 +139,46 @@ func (e *Engine) RunSource(src trace.Source) (*trace.State, error) {
 // RunSourceContext is RunSource with cancellation: the replay checks ctx at
 // every day boundary and, once cancelled, no stage Finish runs — the pass
 // aborts with ctx.Err() and the partially built state. A nil ctx disables
-// the checks.
+// the checks (unless a subscribed Syncer needs the abort machinery, in
+// which case an internal background context stands in).
 func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source) (*trace.State, error) {
 	d := &trace.Dispatcher{}
 	for _, s := range e.stages {
 		d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	}
+	// The per-snapshot barrier: Syncer stages get a cancellable sync point
+	// after each day's callbacks, dispatched last so every stage has seen
+	// the day before any fan-out freezes the state. A sync error cancels
+	// the run's context, which stops the replay at this day boundary —
+	// the shared graph is never mutated past a failed barrier.
+	var syncErr error
+	if syncers := e.syncers(); len(syncers) > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		runCtx, cancel := context.WithCancel(base)
+		defer cancel()
+		ctx = runCtx
+		d.Subscribe(trace.Hooks{OnDayEnd: func(st *trace.State, day int32) {
+			if syncErr != nil {
+				return
+			}
+			for _, y := range syncers {
+				if err := y.Sync(runCtx, st, day); err != nil {
+					syncErr = err
+					cancel()
+					return
+				}
+			}
+		}})
+	}
 	st := trace.NewState(e.nodeHint, e.edgeHint)
-	if err := trace.ReplaySourceIntoContext(ctx, st, src, d.Hooks()); err != nil {
+	err := trace.ReplaySourceIntoContext(ctx, st, src, d.Hooks())
+	if syncErr != nil {
+		return st, syncErr
+	}
+	if err != nil {
 		return st, err
 	}
 	for _, s := range e.stages {
@@ -138,4 +187,16 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source) (*trace
 		}
 	}
 	return st, nil
+}
+
+// syncers returns the subscribed stages that take part in the per-snapshot
+// barrier, in subscription order.
+func (e *Engine) syncers() []Syncer {
+	var out []Syncer
+	for _, s := range e.stages {
+		if y, ok := s.(Syncer); ok {
+			out = append(out, y)
+		}
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -86,6 +87,128 @@ func TestEngineFinishErrorNamesStage(t *testing.T) {
 	if secondFinished {
 		t.Fatal("finish after a failed stage should not run")
 	}
+}
+
+// syncStage is a Stage+Syncer recording the barrier call sequence.
+type syncStage struct {
+	Funcs
+	syncs   []int32
+	failDay int32
+	err     error
+}
+
+func (s *syncStage) Sync(ctx context.Context, st *trace.State, day int32) error {
+	s.syncs = append(s.syncs, day)
+	if s.failDay > 0 && day == s.failDay {
+		return s.err
+	}
+	return nil
+}
+
+// TestEngineSyncBarrier asserts the per-snapshot barrier contract: Sync
+// fires once per day boundary, after that day's OnDayEnd callbacks, for
+// every day of the pass.
+func TestEngineSyncBarrier(t *testing.T) {
+	var order []string
+	s := &syncStage{Funcs: Funcs{
+		StageName: "sync",
+		DayEnd:    func(_ *trace.State, day int32) { order = append(order, "dayend") },
+	}}
+	e := New()
+	e.Subscribe(s)
+	e.Subscribe(Funcs{StageName: "after", DayEnd: func(_ *trace.State, day int32) { order = append(order, "after") }})
+	if _, err := e.Run(testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(s.syncs, want) {
+		t.Fatalf("sync days = %v, want %v", s.syncs, want)
+	}
+	// Sync runs after every subscriber's OnDayEnd — including stages
+	// subscribed later — so a fan-out freeze sees the day fully dispatched.
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] != "dayend" || order[i+1] != "after" {
+			t.Fatalf("day-end order broken at %d: %v", i, order)
+		}
+	}
+}
+
+// TestEngineSyncErrorAbortsReplay asserts a Sync error cancels the pass at
+// that day boundary: not a single further event is applied to the shared
+// state or dispatched, no later days fire, no Finish runs, and the engine
+// returns the sync error itself.
+func TestEngineSyncErrorAbortsReplay(t *testing.T) {
+	boom := errors.New("barrier wait failed")
+	var days []int32
+	var events int
+	var finished bool
+	s := &syncStage{failDay: 2, err: boom, Funcs: Funcs{
+		StageName: "sync",
+		Event:     func(_ *trace.State, _ trace.Event) { events++ },
+		DayEnd:    func(_ *trace.State, day int32) { days = append(days, day) },
+		Done:      func(*trace.State) error { finished = true; return nil },
+	}}
+	e := New()
+	e.Subscribe(s)
+	st, err := e.RunSourceContext(context.Background(), trace.SliceSource(testEvents()))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sync error", err)
+	}
+	if got, want := days, []int32{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("dispatched days = %v, want %v (abort at the failed boundary)", got, want)
+	}
+	// testEvents has 4 events through day 2 and one on day 5; the day-5
+	// edge must never reach the shared graph after the day-2 sync failure.
+	if events != 4 || st.Graph.NumEdges() != 1 {
+		t.Fatalf("events=%d edges=%d after abort, want 4 events and 1 edge (day-5 edge not applied)",
+			events, st.Graph.NumEdges())
+	}
+	if finished {
+		t.Fatal("Finish ran after an aborted pass")
+	}
+	if got, want := s.syncs, []int32{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("sync days = %v, want %v", got, want)
+	}
+}
+
+// TestEngineSyncSeesCancellation asserts the ctx handed to Sync is the
+// run's context: cancelling the caller's ctx is observable inside the
+// barrier, and the pass aborts with context.Canceled.
+func TestEngineSyncSeesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawCancel bool
+	e := New()
+	e.Subscribe(Funcs{StageName: "canceler", DayEnd: func(_ *trace.State, day int32) {
+		if day == 2 {
+			cancel()
+		}
+	}})
+	e.Subscribe(syncProbe{saw: &sawCancel})
+	_, err := e.RunSourceContext(ctx, trace.SliceSource(testEvents()))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !sawCancel {
+		t.Fatal("Sync never observed the cancelled run context")
+	}
+}
+
+// syncProbe is a no-op stage recording whether Sync ever saw ctx done.
+type syncProbe struct {
+	saw *bool
+}
+
+func (p syncProbe) Name() string                      { return "probe" }
+func (p syncProbe) OnEvent(*trace.State, trace.Event) {}
+func (p syncProbe) OnDayEnd(*trace.State, int32)      {}
+func (p syncProbe) Finish(*trace.State) error         { return nil }
+func (p syncProbe) Sync(ctx context.Context, st *trace.State, day int32) error {
+	if ctx.Err() != nil {
+		*p.saw = true
+		return ctx.Err()
+	}
+	return nil
 }
 
 func TestPoolBoundsConcurrency(t *testing.T) {

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildRandom grows a random simple graph for snapshot comparison.
+func buildRandom(t *testing.T, n, m int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	g.EnsureNode(NodeID(n - 1))
+	added := 0
+	for added < m {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := g.AddEdge(u, v); err == nil {
+			added++
+		}
+	}
+	return g
+}
+
+// TestFrozenMatchesLive asserts a Frozen snapshot presents exactly the
+// same View as the live graph at freeze time: counts, degrees, adjacency
+// in insertion order, and ForEachEdge order.
+func TestFrozenMatchesLive(t *testing.T) {
+	g := buildRandom(t, 200, 600, 1)
+	f := g.Freeze()
+	if f.NumNodes() != g.NumNodes() || f.NumEdges() != g.NumEdges() {
+		t.Fatalf("frozen %d nodes %d edges, live %d/%d", f.NumNodes(), f.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if f.Degree(NodeID(u)) != g.Degree(NodeID(u)) {
+			t.Fatalf("node %d: degree %d vs %d", u, f.Degree(NodeID(u)), g.Degree(NodeID(u)))
+		}
+		fn, gn := f.Neighbors(NodeID(u)), g.Neighbors(NodeID(u))
+		if len(fn) != len(gn) {
+			t.Fatalf("node %d: neighbor count %d vs %d", u, len(fn), len(gn))
+		}
+		for i := range fn {
+			if fn[i] != gn[i] {
+				t.Fatalf("node %d: adjacency order diverges at %d: %d vs %d", u, i, fn[i], gn[i])
+			}
+		}
+	}
+	type edge struct{ u, v NodeID }
+	var fe, ge []edge
+	f.ForEachEdge(func(u, v NodeID) { fe = append(fe, edge{u, v}) })
+	g.ForEachEdge(func(u, v NodeID) { ge = append(ge, edge{u, v}) })
+	if !reflect.DeepEqual(fe, ge) {
+		t.Fatalf("ForEachEdge order diverges: %d vs %d edges", len(fe), len(ge))
+	}
+	// Out-of-range reads behave like the live graph's.
+	if f.Degree(-1) != 0 || f.Neighbors(NodeID(f.NumNodes())) != nil {
+		t.Fatal("out-of-range access not zero-valued")
+	}
+}
+
+// TestFrozenImmutable asserts a snapshot is unaffected by later growth of
+// the source graph — the property the δ-sweep's concurrent detectors rely
+// on while the replay keeps mutating the shared graph.
+func TestFrozenImmutable(t *testing.T) {
+	g := buildRandom(t, 50, 120, 2)
+	f := g.Freeze()
+	nodes, edges := f.NumNodes(), f.NumEdges()
+	deg0 := f.Degree(0)
+	n0 := append([]NodeID(nil), f.Neighbors(0)...)
+
+	// Mutate the live graph heavily.
+	g.EnsureNode(99)
+	for v := NodeID(1); v < 90; v++ {
+		g.AddEdge(0, v) // some duplicates; ignored
+	}
+	if f.NumNodes() != nodes || f.NumEdges() != edges || f.Degree(0) != deg0 {
+		t.Fatalf("snapshot changed after source mutation: %d/%d deg0=%d", f.NumNodes(), f.NumEdges(), f.Degree(0))
+	}
+	if !reflect.DeepEqual(append([]NodeID(nil), f.Neighbors(0)...), n0) {
+		t.Fatal("snapshot adjacency changed after source mutation")
+	}
+	// An empty graph freezes cleanly.
+	ef := New(0).Freeze()
+	if ef.NumNodes() != 0 || ef.NumEdges() != 0 {
+		t.Fatal("empty freeze not empty")
+	}
+}

@@ -77,7 +77,7 @@ type wgraph struct {
 	total float64             // 2m: sum of all degrees
 }
 
-func newWGraphFromGraph(g *graph.Graph) *wgraph {
+func newWGraphFromGraph(g graph.View) *wgraph {
 	n := g.NumNodes()
 	w := &wgraph{
 		n:    n,
@@ -131,9 +131,42 @@ func (w *wgraph) modularity(comm []int32) float64 {
 // ErrInitLength is returned when Options.Init has the wrong length.
 var ErrInitLength = errors.New("louvain: init assignment length mismatch")
 
-// Run performs Louvain community detection on g.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
-	n := g.NumNodes()
+// Prepared is a Louvain-ready weighted view of a graph: the level-0
+// weighted adjacency built once by Prepare and read, never written, by
+// RunPrepared. It exists for two reasons. First, a single run needs the
+// base weighted graph twice — for optimization and for the final
+// modularity — and Prepared makes that one build instead of two. Second,
+// it is safe to share between any number of concurrent RunPrepared calls,
+// so the δ-sweep builds one Prepared per frozen snapshot and every per-δ
+// worker reuses it, instead of K workers re-deriving identical weighted
+// graphs.
+type Prepared struct {
+	w *wgraph
+}
+
+// Prepare builds the shared weighted view of g. The result is immutable
+// and unaffected by later growth of g's underlying graph.
+func Prepare(g graph.View) *Prepared {
+	return &Prepared{w: newWGraphFromGraph(g)}
+}
+
+// NumNodes returns the node count at Prepare time.
+func (p *Prepared) NumNodes() int { return p.w.n }
+
+// Run performs Louvain community detection on g. It only reads the graph,
+// so g may be the live replay graph or an immutable graph.Frozen snapshot
+// shared with other concurrent runs (the δ-sweep's fan-out).
+func Run(g graph.View, opt Options) (*Result, error) {
+	return RunPrepared(Prepare(g), opt)
+}
+
+// RunPrepared is Run over a pre-built weighted view, bit-identical to Run
+// on the graph Prepare saw: the level-0 weighted graph is a pure function
+// of the adjacency, optimization never mutates it (aggregation levels
+// derive fresh super-graphs), and level-0 weights are unit so summation
+// order cannot perturb the floats.
+func RunPrepared(p *Prepared, opt Options) (*Result, error) {
+	n := p.w.n
 	if opt.Init != nil && len(opt.Init) != n {
 		return nil, ErrInitLength
 	}
@@ -148,7 +181,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	// final[u] tracks each original node's community through the levels.
 	final := make([]int32, n)
-	w := newWGraphFromGraph(g)
+	w := p.w
 
 	// Level-0 initial assignment: Init labels densified, or singletons.
 	var init []int32
@@ -190,14 +223,13 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Community: densify(final), Levels: levels}
-	base := newWGraphFromGraph(g)
-	res.Modularity = base.modularity(res.Community)
+	res.Modularity = p.w.modularity(res.Community)
 	return res, nil
 }
 
 // Modularity computes the modularity of an arbitrary assignment on g,
 // exported for δ-sensitivity analyses (Fig 4a).
-func Modularity(g *graph.Graph, comm []int32) float64 {
+func Modularity(g graph.View, comm []int32) float64 {
 	if len(comm) != g.NumNodes() {
 		return 0
 	}

@@ -61,8 +61,8 @@ type Hooks struct {
 // ReplayInto pass (and therefore every Replay). It is a test instrumentation
 // point: equivalence and pass-counting tests install an atomic counter here
 // to assert how many full passes over a trace an analysis makes. Because
-// passes may run on concurrent goroutines (the δ-sweep fan-out), installed
-// hooks must be safe for concurrent use.
+// passes may run on concurrent goroutines (the per-pass sweep reference on
+// a pool), installed hooks must be safe for concurrent use.
 var OnReplayPass func()
 
 // Replay streams events through a fresh State, firing hooks, and returns the
@@ -98,9 +98,10 @@ func ReplaySourceInto(st *State, src Source, hooks Hooks) error {
 
 // ReplaySourceIntoContext is ReplaySourceInto with cancellation: the pass
 // checks ctx at every day boundary (the natural quantum of the replay) and
-// aborts with ctx.Err() — typically context.Canceled — leaving the state
-// mid-replay. A nil ctx disables the checks, making this identical to
-// ReplaySourceInto.
+// before applying each event, and aborts with ctx.Err() — typically
+// context.Canceled — leaving the state mid-replay with no event applied
+// past the cancellation. A nil ctx disables the checks, making this
+// identical to ReplaySourceInto.
 func ReplaySourceIntoContext(ctx context.Context, st *State, src Source, hooks Hooks) error {
 	cur, err := src.Open()
 	if err != nil {
@@ -149,9 +150,9 @@ func NewSink(st *State, hooks Hooks) *Sink {
 	return NewSinkContext(nil, st, hooks)
 }
 
-// NewSinkContext is NewSink with cancellation: Push and Finish check ctx at
-// every day boundary and abort the pass with ctx.Err(). A nil ctx disables
-// the checks.
+// NewSinkContext is NewSink with cancellation: Push and Finish check ctx
+// at every day boundary and before each applied event, aborting the pass
+// with ctx.Err(). A nil ctx disables the checks.
 func NewSinkContext(ctx context.Context, st *State, hooks Hooks) *Sink {
 	if OnReplayPass != nil {
 		OnReplayPass()
@@ -160,7 +161,10 @@ func NewSinkContext(ctx context.Context, st *State, hooks Hooks) *Sink {
 }
 
 // Push applies one event to the state, firing any day-boundary hooks that
-// precede it and the per-event hook after it.
+// precede it and the per-event hook after it. With a context, Push also
+// refuses to apply any event once the context is cancelled — so a
+// cancellation raised inside a day-end hook (the engine's per-snapshot
+// barrier) stops the pass before a single further event mutates the state.
 func (k *Sink) Push(ev Event) error {
 	for k.day < ev.Day {
 		if k.ctx != nil {
@@ -172,6 +176,11 @@ func (k *Sink) Push(ev Event) error {
 			k.hooks.OnDayEnd(k.st, k.day)
 		}
 		k.day++
+	}
+	if k.ctx != nil {
+		if err := k.ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := k.st.Apply(ev); err != nil {
 		return err

@@ -174,8 +174,11 @@ type SnapshotResult struct {
 }
 
 // Advance feeds the tracker the next snapshot: the graph as of `day` and a
-// community assignment for its nodes. It returns the tracked view.
-func (t *Tracker) Advance(day int32, g *graph.Graph, assign Assignment) *SnapshotResult {
+// community assignment for its nodes. It returns the tracked view. The
+// graph is only read, so per-δ trackers fanned out by the sweep can key
+// their histories off one shared frozen snapshot (graph.Frozen) instead of
+// each maintaining a private live graph.
+func (t *Tracker) Advance(day int32, g graph.View, assign Assignment) *SnapshotResult {
 	t.lastDay = day
 	// Group nodes by label, filtering small communities.
 	byLabel := map[int32][]graph.NodeID{}
@@ -451,7 +454,7 @@ func (t *Tracker) strongestTieOf(id int64) int64 {
 }
 
 // recordFeatures appends this snapshot's Features for every live community.
-func (t *Tracker) recordFeatures(day int32, g *graph.Graph, cur []*community, nodeComm map[graph.NodeID]int64) {
+func (t *Tracker) recordFeatures(day int32, g graph.View, cur []*community, nodeComm map[graph.NodeID]int64) {
 	for _, c := range cur {
 		h := t.hist[c.id]
 		if h == nil {
@@ -478,7 +481,7 @@ func (t *Tracker) recordFeatures(day int32, g *graph.Graph, cur []*community, no
 }
 
 // interCommunityTies counts edges between tracked communities.
-func interCommunityTies(g *graph.Graph, nodeComm map[graph.NodeID]int64) map[int64]map[int64]int64 {
+func interCommunityTies(g graph.View, nodeComm map[graph.NodeID]int64) map[int64]map[int64]int64 {
 	out := map[int64]map[int64]int64{}
 	g.ForEachEdge(func(u, v graph.NodeID) {
 		cu, okU := nodeComm[u]

@@ -99,8 +99,10 @@ func OpenTraceFile(path string) (MetaSource, error) {
 func DefaultPipeline() Pipeline { return core.DefaultConfig() }
 
 // Run executes the multi-scale pipeline over a trace on the single-pass
-// streaming engine: all analyses share one replay, and the δ-sweep fans
-// out across a bounded worker pool (see DESIGN.md §4).
+// streaming engine: every analysis — the δ-sweep included — shares one
+// replay and one live graph, with the sweep's per-δ detectors fanned out
+// across a bounded worker pool against frozen snapshots of the shared
+// graph (see DESIGN.md §4).
 func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
 
 // RunSource is Run over a re-openable event source — with a source from
@@ -109,8 +111,8 @@ func Run(tr *Trace, cfg Pipeline) (*Result, error) { return core.Run(tr, cfg) }
 func RunSource(src MetaSource, cfg Pipeline) (*Result, error) { return core.RunSource(src, cfg) }
 
 // RunContext is Run with cancellation: ctx is checked at every day
-// boundary of every replay pass (the shared streaming pass and each
-// δ-sweep pass), and a cancelled run returns ctx's error and no Result.
+// boundary of the shared pass (including the δ-sweep's per-snapshot
+// barrier), and a cancelled run returns ctx's error and no Result.
 func RunContext(ctx context.Context, tr *Trace, cfg Pipeline) (*Result, error) {
 	return core.RunPlan(ctx, tr.Source(), cfg, nil)
 }
