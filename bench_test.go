@@ -12,8 +12,10 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -651,6 +653,156 @@ func BenchmarkSubstrateMergeAnalysis(b *testing.B) {
 		if _, err := osnmerge.Analyze(tr.Events, tr.Meta.MergeDay, osnmerge.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIncrementalResume is the checkpointed state plane's headline
+// (DESIGN.md §6): serving the analysis after a trace gained days, as a
+// from-zero full replay versus a resume from the end-of-run checkpoint
+// the shorter trace's run left behind. The setup mimics the real
+// incremental workflow — generate a base trace, run it once with
+// checkpoints enabled, regenerate with a longer horizon (same seed: the
+// base trace is an exact prefix, pinned by
+// TestExtendedHorizonKeepsPrefix) — so the Resume arm restores state
+// written against the *old* file and replays only the appended days off
+// the new file's day index, writing its own end-of-run checkpoint for
+// the next increment (each timed iteration starts from a fresh copy of
+// the base run's checkpoint chain). Both arms produce bit-identical
+// figure tables (asserted here once; TestResumeMatchesFromZero holds it
+// per stage set).
+//
+// Two append widths bound the scenario: +30 days and +7 days. The
+// speedup is governed by how much analysis mass the appended window
+// carries — the default preset compounds ~0.7%/day, so +30 days is ~22%
+// of all events (and the most expensive ones), while a weekly increment
+// is ~5%.
+//
+// Defaults to gen.DefaultConfig scale (771-day base, ~10⁵ nodes);
+// -short swaps in the test-scale preset for the CI smoke.
+// BENCH_checkpoint.json tracks the datapoints.
+func BenchmarkIncrementalResume(b *testing.B) {
+	gcfg := gen.DefaultConfig()
+	if testing.Short() {
+		gcfg = gen.SmallConfig()
+	}
+
+	dir := b.TempDir()
+	basePath := filepath.Join(dir, "base.trace")
+	baseMeta, err := gen.GenerateToFile(gcfg, basePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseSrc, err := trace.OpenFileSource(basePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.DeltaSweep = nil // the sweep has its own bench; keep this one cadence-bound
+	baseCkpt := filepath.Join(dir, "ckpt-base")
+	cfg.CheckpointDir = baseCkpt
+	cfg.CheckpointEvery = 90
+
+	// The base run: the analysis that existed before the trace grew,
+	// leaving the checkpoint chain (cadence days plus the end-of-run
+	// day) behind. Untimed.
+	if _, err := core.RunPlan(context.Background(), baseSrc, cfg, nil); err != nil {
+		b.Fatal(err)
+	}
+	latest := baseMeta.Days - 1 // the end-of-run checkpoint day
+
+	// cloneCheckpoints copies the base chain into a fresh directory, so
+	// one iteration's end-of-run checkpoint can't serve the next one.
+	cloneCheckpoints := func(b *testing.B) string {
+		b.Helper()
+		clone := filepath.Join(b.TempDir(), "ckpt")
+		if err := os.MkdirAll(clone, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		ents, err := os.ReadDir(baseCkpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range ents {
+			raw, err := os.ReadFile(filepath.Join(baseCkpt, e.Name()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(clone, e.Name()), raw, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return clone
+	}
+
+	for _, appendDays := range []int32{30, 7} {
+		b.Run(fmt.Sprintf("Append%d", appendDays), func(b *testing.B) {
+			extCfg := gcfg
+			extCfg.Days += appendDays
+			extPath := filepath.Join(dir, fmt.Sprintf("ext%d.trace", appendDays))
+			extMeta, err := gen.GenerateToFile(extCfg, extPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			extSrc, err := trace.OpenFileSource(extPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("extended trace: %d nodes, %d edges, %d days (+%d); resume from day %d",
+				extMeta.Nodes, extMeta.Edges, extMeta.Days, appendDays, latest)
+
+			plainCfg := cfg
+			plainCfg.CheckpointDir = "" // the from-zero arm neither writes nor reads checkpoints
+			resumeCfg := cfg
+			resumeCfg.Resume = true
+
+			// Equivalence first, outside the timers: resumed-after-append
+			// must serve the same tables as the from-zero replay.
+			fullRes, err := core.RunPlan(context.Background(), extSrc, plainCfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resumeCfg.CheckpointDir = cloneCheckpoints(b)
+			resRes, err := core.RunPlan(context.Background(), extSrc, resumeCfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resRes.ResumedFromDay != latest {
+				b.Fatalf("ResumedFromDay = %d, want %d", resRes.ResumedFromDay, latest)
+			}
+			for _, id := range []string{"fig1a", "fig2c", "fig3c", "fig5b", "fig8c"} {
+				ft, ferr := fullRes.Figure(id)
+				rt, rerr := resRes.Figure(id)
+				if (ferr == nil) != (rerr == nil) {
+					b.Fatalf("%s: availability diverged (%v vs %v)", id, ferr, rerr)
+				}
+				if ferr == nil && !reflect.DeepEqual(ft, rt) {
+					b.Fatalf("%s: resumed table diverged from full replay", id)
+				}
+			}
+
+			b.Run("FullReplay", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RunPlan(context.Background(), extSrc, plainCfg, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("Resume", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					resumeCfg.CheckpointDir = cloneCheckpoints(b)
+					b.StartTimer()
+					res, err := core.RunPlan(context.Background(), extSrc, resumeCfg, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.ResumedFromDay != latest {
+						b.Fatalf("ResumedFromDay = %d, want %d", res.ResumedFromDay, latest)
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -41,8 +41,11 @@ func main() {
 	tracePath := flag.String("trace", "", "optional trace file, replayed off disk (overrides -preset)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	deltas := flag.String("deltas", "", "comma-separated Louvain δ values for the fig4 sweep, e.g. 0.01,0.04,0.16 (default: the paper grid)")
-	sweep := flag.String("sweep", "", "deprecated alias for -deltas")
+	sweep := flag.String("sweep", "", "deprecated alias for -deltas (mutually exclusive with it)")
 	progress := flag.Bool("progress", false, "write a day/event progress line to stderr while the shared pass replays")
+	checkpointDir := flag.String("checkpoint-dir", "", "write pipeline checkpoints into this directory at the -checkpoint-every cadence")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
 	encode := flag.String("encode", "", "stream the generated trace to this file and exit (no analysis)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
@@ -133,6 +136,9 @@ func main() {
 	// δ values must be in place before planning — a fig4 request with an
 	// empty sweep is rejected at plan time. Setting the default grid is
 	// free when the sweep stage doesn't make the plan.
+	if *deltas != "" && *sweep != "" {
+		log.Fatal("-deltas and the deprecated -sweep are mutually exclusive; pass only -deltas")
+	}
 	deltaSpec := *deltas
 	if deltaSpec == "" {
 		deltaSpec = *sweep // deprecated alias
@@ -151,6 +157,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\rday %d/%d, %d events", day, meta.Days, events)
 		}
 	}
+	// The checkpointed state plane: -checkpoint-dir writes day-addressed
+	// snapshots at the cadence; -resume restores the latest compatible
+	// one and replays only the days after it (incompatible or absent
+	// checkpoints fall back to day 0).
+	if *resume && *checkpointDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
+	cfg.CheckpointDir = *checkpointDir
+	cfg.CheckpointEvery = int32(*checkpointEvery)
+	cfg.Resume = *resume
 	plan, err := core.Plan(cfg, ids...)
 	if err != nil {
 		log.Fatalf("plan: %v", err)
@@ -200,6 +216,15 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
+	}
+	if res.ResumedFromDay >= 0 {
+		if res.ResumedFromDay >= meta.Days-1 {
+			log.Printf("resumed from checkpoint day %d (nothing newer to replay)", res.ResumedFromDay)
+		} else {
+			log.Printf("resumed from checkpoint day %d (replayed days %d..%d)", res.ResumedFromDay, res.ResumedFromDay+1, meta.Days-1)
+		}
+	} else if *resume {
+		log.Printf("no compatible checkpoint in %s; replayed from day 0 (checkpoints bind the exact config and stage plan)", *checkpointDir)
 	}
 
 	if *memprofile != "" {

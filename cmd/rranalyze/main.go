@@ -33,8 +33,11 @@ func main() {
 	outDir := flag.String("out", "figures", "output directory for per-figure TSVs")
 	only := flag.String("only", "", "comma-separated figure ids; plans and runs exactly the stages they need")
 	deltas := flag.String("deltas", "", "comma-separated Louvain δ values for the Fig 4 sweep, e.g. 0.01,0.04,0.16")
-	sweep := flag.String("sweep", "", "deprecated alias for -deltas")
+	sweep := flag.String("sweep", "", "deprecated alias for -deltas (mutually exclusive with it)")
 	progress := flag.Bool("progress", false, "write a day/event progress line to stderr while the shared pass replays")
+	checkpointDir := flag.String("checkpoint-dir", "", "write pipeline checkpoints into this directory at the -checkpoint-every cadence")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
 	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
@@ -81,6 +84,9 @@ func main() {
 			log.Fatalf("unknown stage %q", s)
 		}
 	}
+	if *deltas != "" && *sweep != "" {
+		log.Fatal("-deltas and the deprecated -sweep are mutually exclusive; pass only -deltas")
+	}
 	deltaSpec := *deltas
 	if deltaSpec == "" {
 		deltaSpec = *sweep // deprecated alias
@@ -97,6 +103,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\rday %d/%d, %d events", day, meta.Days, events)
 		}
 	}
+	// The checkpointed state plane: write day-addressed snapshots while
+	// analyzing, and resume from the latest compatible one after the
+	// trace file gained days (see README's incremental workflow).
+	if *resume && *checkpointDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
+	cfg.CheckpointDir = *checkpointDir
+	cfg.CheckpointEvery = int32(*checkpointEvery)
+	cfg.Resume = *resume
 
 	// An explicit -only list plans the minimal stage set; otherwise a nil
 	// plan translates the -skip toggles. SIGINT cancels every in-flight
@@ -122,6 +137,15 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
+	}
+	if res.ResumedFromDay >= 0 {
+		if res.ResumedFromDay >= meta.Days-1 {
+			log.Printf("resumed from checkpoint day %d (nothing newer to replay)", res.ResumedFromDay)
+		} else {
+			log.Printf("resumed from checkpoint day %d (replayed days %d..%d)", res.ResumedFromDay, res.ResumedFromDay+1, meta.Days-1)
+		}
+	} else if *resume {
+		log.Printf("no compatible checkpoint in %s; replayed from day 0 (checkpoints bind the exact config — e.g. the default -dist-days follow the trace length, so pin -dist-days across incremental runs)", *checkpointDir)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatalf("mkdir: %v", err)

@@ -5,6 +5,8 @@
 //
 //	rrgen -preset default -seed 1 -out renren.trace
 //	rrgen -preset small -days 250 -out small.trace
+//	rrgen -preset default -days 801 -out extended.trace  # same seed: 771-day prefix unchanged
+//	rrgen -preset default -merge-day 300 -out early.trace
 //	rrgen -preset large -out big.trace -check   # validate off disk after writing
 package main
 
@@ -23,9 +25,10 @@ func main() {
 
 	preset := flag.String("preset", "default", "config preset: default (771 days, ~10^5 nodes), small, or large (~10^6 nodes)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	days := flag.Int("days", 0, "override trace length in days (0 = preset value)")
+	days := flag.Int("days", 0, "override trace length in days (0 = preset value); extending the horizon keeps the shorter trace as a prefix, which is what the incremental checkpoint-resume workflow appends against")
 	maxNodes := flag.Int("max-nodes", 0, "override node cap (0 = preset value)")
 	noMerge := flag.Bool("no-merge", false, "disable the 5Q network merge event")
+	mergeDay := flag.Int("merge-day", 0, "override the 5Q merge day on the chosen preset (0 = preset value; must be < -days and needs a preset with a merge)")
 	out := flag.String("out", "renren.trace", "output file")
 	check := flag.Bool("check", false, "stream-validate the written trace's structural invariants (one extra pass off disk)")
 	flag.Parse()
@@ -53,6 +56,19 @@ func main() {
 	}
 	if *noMerge {
 		cfg.Merge = nil
+	}
+	if *mergeDay > 0 {
+		switch {
+		case *noMerge:
+			log.Fatal("-merge-day and -no-merge are mutually exclusive")
+		case cfg.Merge == nil:
+			log.Fatalf("-merge-day %d: the trimmed %d-day horizon has no merge; raise -days or drop -merge-day", *mergeDay, cfg.Days)
+		case int32(*mergeDay) >= cfg.Days:
+			log.Fatalf("-merge-day %d is outside the %d-day horizon", *mergeDay, cfg.Days)
+		case int32(*mergeDay) <= cfg.Merge.FiveQStart:
+			log.Fatalf("-merge-day %d is not after the 5Q founding day %d", *mergeDay, cfg.Merge.FiveQStart)
+		}
+		cfg.Merge.Day = int32(*mergeDay)
 	}
 
 	// Stream the simulation straight into the trace file: the event

@@ -1,0 +1,368 @@
+// Package checkpoint implements the versioned, deterministic binary codec
+// behind the pipeline's day-addressable state plane (DESIGN.md §6): the
+// low-level Encoder/Decoder primitives every streaming stage serializes
+// its accumulator state with, the codec for the shared trace.State, and
+// the checkpoint file container (header + state section + one opaque,
+// length-prefixed blob per stage).
+//
+// Determinism is a correctness requirement, not a nicety: a run resumed
+// from a checkpoint must be bit-identical to the from-zero run, so
+// serialization never iterates a map directly — callers emit map entries
+// in sorted key order (SortedKeys) — and floating-point values round-trip
+// through their exact IEEE-754 bits.
+//
+// Decoding is hardened the same way the trace codec is: typed errors for
+// bad magic, version skew, and truncation; declared lengths are bounded
+// before any allocation, and slice preallocation is capped so a lying
+// header grows by append instead of one huge up-front allocation.
+package checkpoint
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Typed decode errors, mirrored on the trace codec's hardening.
+var (
+	// ErrBadMagic is returned when a stream is not a checkpoint file.
+	ErrBadMagic = errors.New("checkpoint: bad magic")
+	// ErrVersion is returned for a container format version this build
+	// does not understand.
+	ErrVersion = errors.New("checkpoint: unsupported format version")
+	// ErrTruncated is returned when the stream ends inside a promised
+	// structure.
+	ErrTruncated = errors.New("checkpoint: truncated stream")
+	// ErrTooLarge is returned when a declared length exceeds its bound.
+	ErrTooLarge = errors.New("checkpoint: declared length exceeds limit")
+	// ErrCorrupt is returned for structurally invalid content (value out
+	// of range, malformed varint, bad section framing).
+	ErrCorrupt = errors.New("checkpoint: corrupt stream")
+)
+
+// Decode bounds.
+const (
+	// maxLen bounds every declared string/slice/blob length.
+	maxLen = 1 << 31
+	// prealloc caps how much capacity a decoder trusts a declared length
+	// for.
+	prealloc = 1 << 16
+	// maxSections bounds the number of per-stage sections in a container.
+	maxSections = 1 << 10
+)
+
+// Encoder writes the checkpoint primitive types to an underlying writer.
+// Errors are sticky: the first failure is kept and every later call is a
+// no-op, so call sites stay linear and check Err (or Flush) once.
+type Encoder struct {
+	bw  *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{bw: bufio.NewWriter(w)}
+}
+
+// Err returns the first write failure, nil if none.
+func (e *Encoder) Err() error { return e.err }
+
+// Flush flushes buffered output and returns the first failure.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.bw.Flush()
+	return e.err
+}
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.bw.Write(p)
+}
+
+// U64 writes an unsigned varint.
+func (e *Encoder) U64(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.write(e.buf[:n])
+}
+
+// I64 writes a signed (zigzag) varint.
+func (e *Encoder) I64(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.write(e.buf[:n])
+}
+
+// I32 writes a signed varint constrained to the int32 range on decode.
+func (e *Encoder) I32(v int32) { e.I64(int64(v)) }
+
+// Int writes a signed varint constrained to the int range on decode.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool writes a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.write([]byte{b})
+}
+
+// F64 writes the value's exact IEEE-754 bits (8 bytes, little endian).
+func (e *Encoder) F64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	e.write(b[:])
+}
+
+// Bytes writes a length-prefixed byte blob.
+func (e *Encoder) Bytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.write(b)
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U64(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+// I32s writes a length-prefixed []int32.
+func (e *Encoder) I32s(v []int32) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.I32(x)
+	}
+}
+
+// I64s writes a length-prefixed []int64.
+func (e *Encoder) I64s(v []int64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (e *Encoder) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Decoder reads the checkpoint primitive types. Like the Encoder, its
+// error is sticky; reads after a failure return zero values.
+type Decoder struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{br: br}
+}
+
+// Err returns the first decode failure, nil if none.
+func (d *Decoder) Err() error { return d.err }
+
+// fail latches the first error and returns it.
+func (d *Decoder) fail(err error) error {
+	if d.err == nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		d.err = err
+	}
+	return d.err
+}
+
+// U64 reads an unsigned varint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+// I64 reads a signed (zigzag) varint.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.br)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+// I32 reads a signed varint, rejecting values outside the int32 range.
+func (d *Decoder) I32() int32 {
+	v := d.I64()
+	if d.err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+		d.fail(fmt.Errorf("%w: value %d overflows int32", ErrCorrupt, v))
+		return 0
+	}
+	return int32(v)
+}
+
+// Int reads a signed varint, rejecting values outside the int range.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if d.err == nil && (v < math.MinInt || v > math.MaxInt) {
+		d.fail(fmt.Errorf("%w: value %d overflows int", ErrCorrupt, v))
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	b, err := d.br.ReadByte()
+	if err != nil {
+		d.fail(err)
+		return false
+	}
+	if b > 1 {
+		d.fail(fmt.Errorf("%w: bool byte %d", ErrCorrupt, b))
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads 8 little-endian IEEE-754 bits.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.br, b[:]); err != nil {
+		d.fail(err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Len reads a declared length and bounds it.
+func (d *Decoder) Len() int {
+	n := d.U64()
+	if d.err == nil && n > maxLen {
+		d.fail(fmt.Errorf("%w: length %d", ErrTooLarge, n))
+		return 0
+	}
+	return int(n)
+}
+
+// capLen caps a declared length to the preallocation bound.
+func capLen(n int) int {
+	if n > prealloc {
+		return prealloc
+	}
+	return n
+}
+
+// Bytes reads a length-prefixed byte blob.
+func (d *Decoder) Bytes() []byte {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, 0, capLen(n))
+	var chunk [4096]byte
+	for len(out) < n {
+		want := n - len(out)
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(d.br, chunk[:want]); err != nil {
+			d.fail(err)
+			return nil
+		}
+		out = append(out, chunk[:want]...)
+	}
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// I32s reads a length-prefixed []int32.
+func (d *Decoder) I32s() []int32 {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, capLen(n))
+	for i := 0; i < n; i++ {
+		out = append(out, d.I32())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64.
+func (d *Decoder) I64s() []int64 {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, 0, capLen(n))
+	for i := 0; i < n; i++ {
+		out = append(out, d.I64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64.
+func (d *Decoder) F64s() []float64 {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, capLen(n))
+	for i := 0; i < n; i++ {
+		out = append(out, d.F64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// SortedKeys returns m's keys in ascending order — the deterministic map
+// iteration every stage codec uses.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

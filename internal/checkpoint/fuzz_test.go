@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzCheckpointDecode hardens the checkpoint reader the way FuzzDecode
+// hardens the trace codec: Read must never panic, hang, or over-allocate
+// on corrupt input — truncations, version skew, lying lengths — and
+// whatever it accepts must re-encode byte-identically (the codec is
+// deterministic). The seed corpus covers a real container, version skew,
+// truncation inside every layer, and a header that declares absurd
+// lengths.
+func FuzzCheckpointDecode(f *testing.F) {
+	st := trace.NewState(4, 4)
+	for _, ev := range []trace.Event{
+		{Kind: trace.AddNode, Day: 0, U: 0, Origin: trace.OriginXiaonei},
+		{Kind: trace.AddNode, Day: 1, U: 1, Origin: trace.OriginFiveQ},
+		{Kind: trace.AddEdge, Day: 1, U: 0, V: 1},
+	} {
+		if err := st.Apply(ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	err := Write(&valid, Header{Day: 1, ConfigHash: 7, Stages: []string{"metrics", "evolution"}}, st,
+		[]StageBlob{{Name: "metrics", Data: []byte{1, 1, 2, 3, 5}}, {Name: "evolution", Data: []byte{}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncations inside the header, the state section, and the blobs.
+	for _, cut := range []int{3, 5, 9, valid.Len() / 2, valid.Len() - 3} {
+		f.Add(append([]byte{}, valid.Bytes()[:cut]...))
+	}
+	// Version skew.
+	skew := append([]byte{}, valid.Bytes()...)
+	skew[4] = 0x63
+	f.Add(skew)
+	// Length overflow: a header that promises 2^40 stages.
+	overflow := append([]byte{}, fileMagic[:]...)
+	overflow = append(overflow, 1) // version
+	overflow = append(overflow, 0) // config hash
+	overflow = append(overflow, 2) // day (zigzag 1)
+	overflow = binary.AppendUvarint(overflow, 1<<40)
+	f.Add(overflow)
+	// A state section whose node count lies.
+	lies := append([]byte{}, fileMagic[:]...)
+	lies = append(lies, 1, 0, 0, 0) // version, hash, day, 0 stages
+	lies = binary.AppendUvarint(lies, 1<<50)
+	f.Add(lies)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics, hangs, and OOMs are not
+		}
+		// Accepted input must survive a deterministic re-encode/decode.
+		var buf bytes.Buffer
+		if err := Write(&buf, file.Header, file.State, file.Blobs); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		again, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if again.Header.Day != file.Header.Day || again.Header.ConfigHash != file.Header.ConfigHash ||
+			len(again.Blobs) != len(file.Blobs) {
+			t.Fatalf("round trip diverged: %+v vs %+v", again.Header, file.Header)
+		}
+		if again.State.Day != file.State.Day || again.State.Graph.NumNodes() != file.State.Graph.NumNodes() ||
+			again.State.Graph.NumEdges() != file.State.Graph.NumEdges() {
+			t.Fatal("state round trip diverged")
+		}
+	})
+}

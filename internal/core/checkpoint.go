@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/community"
+	"repro/internal/engine"
+	"repro/internal/evolution"
+	"repro/internal/metrics"
+	"repro/internal/osnmerge"
+	"repro/internal/trace"
+)
+
+// Checkpoint plumbing for the demand-driven pipeline: file naming, the
+// compatibility fingerprint, writing at the engine's cadence hook, and
+// resolving/restoring the latest usable checkpoint for a resume.
+
+// defaultCheckpointEvery is the cadence used when CheckpointDir is set
+// but CheckpointEvery is not.
+const defaultCheckpointEvery = 90
+
+// Stage-name aliases for fingerprint gating, bound to the registries'
+// canonical constants so they cannot drift.
+const (
+	metricsStageName   = metrics.StageName
+	evolutionStageName = evolution.StageName
+	alphaStageName     = evolution.AlphaStageName
+	communityStageName = community.StageName
+	usersStageName     = community.UsersStageName
+	sweepStageName     = community.SweepStageName
+	osnmergeStageName  = osnmerge.StageName
+)
+
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointExt    = ".ckpt"
+)
+
+// checkpointFileName renders the canonical day-addressed file name.
+func checkpointFileName(day int32) string {
+	return fmt.Sprintf("%s%08d%s", checkpointPrefix, day, checkpointExt)
+}
+
+// parseCheckpointDay inverts checkpointFileName.
+func parseCheckpointDay(name string) (int32, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointExt) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointExt)
+	v, err := strconv.ParseInt(mid, 10, 32)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// configFingerprint hashes everything a checkpoint's validity depends
+// on: the subscribed stage set, the Config knobs those stages read
+// during the replay, and the trace's identity (generator seed and merge
+// day — deliberately not the day count, since the trace growing more
+// days between runs is the whole point of incremental resume). Knobs of
+// stages outside the plan are excluded on purpose: e.g. rranalyze
+// derives SizeDistDays from the trace length, and hashing it into a
+// metrics-only run would spuriously invalidate every checkpoint the
+// moment the trace grows. Two runs with equal fingerprints accumulate
+// identical stage state day by day, so a checkpoint from one can seed
+// the other. (The post-pass SVM evaluation re-runs from the community
+// result on every run, resumed or not, so it constrains nothing.)
+func configFingerprint(cfg Config, meta trace.Meta, stages []string) uint64 {
+	has := map[string]bool{}
+	for _, s := range stages {
+		has[s] = true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|stages=%v", stages)
+	fmt.Fprintf(h, "|trace=%d,%d", meta.Seed, meta.MergeDay)
+	if has[metricsStageName] {
+		fmt.Fprintf(h, "|metrics=%d,%d,%d,%d,%d", cfg.MetricsEvery, cfg.PathEvery, cfg.PathSources, cfg.ClusteringSamples, cfg.Seed)
+	}
+	if has[evolutionStageName] {
+		fmt.Fprintf(h, "|evolution=%+v", cfg.Evolution)
+	}
+	if has[alphaStageName] {
+		fmt.Fprintf(h, "|alpha=%+v", cfg.Alpha)
+	}
+	if has[communityStageName] || has[sweepStageName] || has[usersStageName] {
+		fmt.Fprintf(h, "|community=%+v", cfg.Community)
+	}
+	if has[sweepStageName] {
+		fmt.Fprintf(h, "|deltas=%v", cfg.DeltaSweep)
+	}
+	if has[osnmergeStageName] {
+		fmt.Fprintf(h, "|merge=%+v", cfg.Merge)
+	}
+	return h.Sum64()
+}
+
+// stageNames lists the subscribed stages in subscription order.
+func stageNames(stages []engine.Stage) []string {
+	out := make([]string, len(stages))
+	for i, s := range stages {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// ckptStages returns the subscribed stages that belong to the state
+// plane: everything except the observational progress display, which
+// must never gate resume compatibility — toggling a stderr progress line
+// between runs is not a different computation. (A resumed run's progress
+// counter therefore counts only the replayed delta.)
+func (x *planExec) ckptStages() []engine.Stage {
+	all := x.eng.Subscribed()
+	out := all[:0]
+	for _, s := range all {
+		if _, observational := s.(*progressStage); !observational {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// armCheckpoints enables checkpoint writing on the instantiated run and
+// records the fingerprint resume resolution matches against.
+func (x *planExec) armCheckpoints() {
+	cfg := x.rt.cfg
+	if cfg.CheckpointDir == "" {
+		return
+	}
+	x.ckptNames = stageNames(x.ckptStages())
+	x.ckptHash = configFingerprint(cfg, x.rt.meta, x.ckptNames)
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	x.eng.EnableCheckpoints(every, x.writeCheckpoint)
+}
+
+// writeCheckpoint serializes the run at one day boundary: the shared
+// state plus every subscribed stage's blob, written to a temp file and
+// atomically renamed, so readers only ever see complete checkpoints.
+func (x *planExec) writeCheckpoint(day int32, st *trace.State) error {
+	stages := x.ckptStages()
+	blobs := make([]checkpoint.StageBlob, 0, len(stages))
+	for _, s := range stages {
+		var buf bytes.Buffer
+		if err := s.(engine.Checkpointer).SaveState(&buf); err != nil {
+			return fmt.Errorf("stage %s: %w", s.Name(), err)
+		}
+		blobs = append(blobs, checkpoint.StageBlob{Name: s.Name(), Data: buf.Bytes()})
+	}
+	dir := x.rt.cfg.CheckpointDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, checkpointFileName(day))
+	tmp, err := os.CreateTemp(dir, checkpointFileName(day)+".tmp*")
+	if err != nil {
+		return err
+	}
+	h := checkpoint.Header{Day: day, ConfigHash: x.ckptHash, Stages: x.ckptNames}
+	if err := checkpoint.Write(tmp, h, st, blobs); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ckptCandidate is one resolvable checkpoint file.
+type ckptCandidate struct {
+	path string
+	day  int32
+}
+
+// findCheckpoints resolves the checkpoints usable by this run — every
+// checkpoint day <= maxDay whose header carries this run's exact stage
+// set and config fingerprint — newest first. The caller restores the
+// first that loads cleanly; unreadable candidates are skipped, never
+// fatal.
+func (x *planExec) findCheckpoints(maxDay int32) []ckptCandidate {
+	dir := x.rt.cfg.CheckpointDir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var cands []ckptCandidate
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if d, ok := parseCheckpointDay(ent.Name()); ok && d <= maxDay {
+			cands = append(cands, ckptCandidate{path: filepath.Join(dir, ent.Name()), day: d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].day > cands[j].day })
+	out := cands[:0]
+	for _, c := range cands {
+		if x.headerMatches(c.path) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// headerMatches reports whether the checkpoint at path was written by a
+// run with this run's stage set and fingerprint.
+func (x *planExec) headerMatches(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	h, err := checkpoint.ReadHeader(f)
+	if err != nil || h.ConfigHash != x.ckptHash || len(h.Stages) != len(x.ckptNames) {
+		return false
+	}
+	for i, s := range h.Stages {
+		if s != x.ckptNames[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadCheckpoint reads the checkpoint at path, cross-checks it against
+// the source, and restores every state-plane stage from its blob. On any
+// error the stages may be partially restored — the caller discards the
+// whole instantiation and falls back to a from-zero run.
+func (x *planExec) loadCheckpoint(src trace.Source, path string) (*trace.State, int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	file, err := checkpoint.Read(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Consistency probe: the restored graph must account for exactly the
+	// events the trace holds through the checkpoint day (every event is
+	// one node or one edge). This catches a trace regenerated with the
+	// same seed but different generator knobs — identical fingerprint,
+	// different stream — before it can silently serve stale results.
+	if n, ok := trace.EventsThrough(src, file.Header.Day); ok {
+		applied := int64(file.State.Graph.NumNodes()) + file.State.Graph.NumEdges()
+		if n != applied {
+			return nil, 0, fmt.Errorf("core: checkpoint day %d accounts for %d events, trace holds %d — not this trace's prefix", file.Header.Day, applied, n)
+		}
+	}
+	stages := x.ckptStages()
+	if len(file.Blobs) != len(stages) {
+		return nil, 0, fmt.Errorf("core: checkpoint has %d stage blobs, run has %d stages", len(file.Blobs), len(stages))
+	}
+	for i, s := range stages {
+		b := file.Blobs[i]
+		if b.Name != s.Name() {
+			return nil, 0, fmt.Errorf("core: checkpoint blob %d is %q, run stage is %q", i, b.Name, s.Name())
+		}
+		if err := s.(engine.Checkpointer).LoadState(bytes.NewReader(b.Data)); err != nil {
+			return nil, 0, fmt.Errorf("core: restore stage %s: %w", s.Name(), err)
+		}
+	}
+	return file.State, file.Header.Day, nil
+}

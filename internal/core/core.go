@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -69,6 +70,25 @@ type Config struct {
 	// pass, this observes the whole run's replay. It must not block: it
 	// runs on the replay's goroutine.
 	OnProgress func(day int32, events int64)
+
+	// CheckpointDir enables the checkpointed state plane (DESIGN.md §6):
+	// when non-empty, RunPlan writes a checkpoint of the shared state and
+	// every streaming stage's accumulators into this directory every
+	// CheckpointEvery days at the engine's Sync barrier, plus one at the
+	// last replayed day — the end-of-run checkpoint an incremental
+	// workflow resumes from after the trace gains days.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in days; <= 0 defaults to
+	// 90 when CheckpointDir is set.
+	CheckpointEvery int32
+	// Resume makes RunPlan restore the latest compatible checkpoint in
+	// CheckpointDir — same stage set and config fingerprint, checkpoint
+	// day within the trace — and replay only the days after it. Any
+	// mismatch (different knobs, different stage plan, corrupt or
+	// truncated file) falls back cleanly to a from-zero replay; resumed
+	// or not, the figure tables are bit-identical
+	// (TestResumeMatchesFromZero).
+	Resume bool
 }
 
 // DefaultConfig mirrors the paper's parameters at the scaled sizes.
@@ -88,13 +108,27 @@ func DefaultConfig() Config {
 }
 
 // ParseDeltaSweep parses a comma-separated δ list — the textual form of
-// Config.DeltaSweep used by the CLIs' -deltas flags.
+// Config.DeltaSweep used by the CLIs' -deltas flags. The values are
+// Louvain modularity-gain thresholds, so each must be a positive finite
+// number; duplicates are rejected too (a repeated δ would silently run
+// the same detection twice and emit duplicate Fig 4 series).
 func ParseDeltaSweep(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("empty δ list")
+	}
 	var out []float64
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad δ value %q: %v", f, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("δ value %q out of range: must be a positive finite threshold", f)
+		}
+		for _, prev := range out {
+			if prev == v {
+				return nil, fmt.Errorf("duplicate δ value %v", v)
+			}
 		}
 		out = append(out, v)
 	}
@@ -139,6 +173,11 @@ type Result struct {
 	DeltaSweep   []DeltaRun
 
 	Merge *osnmerge.Result
+
+	// ResumedFromDay is the checkpoint day this run resumed from, or -1
+	// when it replayed from day 0 (no checkpointing, no compatible
+	// checkpoint, or Config.Resume unset).
+	ResumedFromDay int32
 
 	// tables is the keyed figure store: panels pre-emitted by a
 	// demand-driven run (RunPlan/RunFigures), served by Figure without
@@ -246,7 +285,7 @@ func RunBatchSource(src trace.MetaSource, cfg Config) (*Result, error) {
 // RunBatchSource.
 func runBatchSource(src trace.Source, meta trace.Meta, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Meta: meta}
+	res := &Result{Meta: meta, ResumedFromDay: -1}
 
 	if !cfg.SkipMetrics {
 		if err := runMetrics(src, cfg, res); err != nil {

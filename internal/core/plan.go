@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
+	"repro/internal/checkpoint"
 	"repro/internal/community"
 	"repro/internal/engine"
 	"repro/internal/evolution"
@@ -447,6 +449,33 @@ func (p *FigurePlan) Figures() []string {
 	return out
 }
 
+// progressStage adapts Config.OnProgress to a named, checkpointable
+// stage: the cumulative event count is externalized so a resumed run's
+// progress line continues from the checkpoint's count instead of zero.
+type progressStage struct {
+	events int64
+	fn     func(day int32, events int64)
+}
+
+func (p *progressStage) Name() string                          { return "progress" }
+func (p *progressStage) OnEvent(_ *trace.State, _ trace.Event) { p.events++ }
+func (p *progressStage) OnDayEnd(_ *trace.State, day int32)    { p.fn(day, p.events) }
+func (p *progressStage) Finish(_ *trace.State) error           { return nil }
+
+// SaveState implements engine.Checkpointer.
+func (p *progressStage) SaveState(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	e.I64(p.events)
+	return e.Flush()
+}
+
+// LoadState implements engine.Checkpointer.
+func (p *progressStage) LoadState(r io.Reader) error {
+	d := checkpoint.NewDecoder(r)
+	p.events = d.I64()
+	return d.Err()
+}
+
 // planExec is one instantiation of a FigurePlan over a concrete trace:
 // the engine with every plan stage subscribed, plus the runtime the specs
 // share. Split from run so tests can assert the subscription set.
@@ -454,6 +483,17 @@ type planExec struct {
 	plan *FigurePlan
 	rt   *planRT
 	eng  *engine.Engine
+
+	// ckptHash and ckptNames identify compatible checkpoints when
+	// Config.CheckpointDir is set (armCheckpoints).
+	ckptHash  uint64
+	ckptNames []string
+
+	// resumeState/resumeDay carry a restored checkpoint into run: the
+	// shared state at the end of resumeDay, with every subscribed stage
+	// already restored via LoadState.
+	resumeState *trace.State
+	resumeDay   int32
 }
 
 // instantiate builds the run: defaults the config, constructs each stage
@@ -461,7 +501,7 @@ type planExec struct {
 // fan-out), and subscribes the shared-pass stages in registry order.
 func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	cfg = cfg.withDefaults()
-	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta}, pool: engine.NewPool(0)}
+	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta, ResumedFromDay: -1}, pool: engine.NewPool(0)}
 	eng := engine.New()
 	eng.Hint(int(meta.Nodes), int(meta.Edges))
 	for _, s := range p.specs {
@@ -475,15 +515,11 @@ func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	// every event has been dispatched to all subscribers, so position in
 	// the subscription order doesn't change the reported counts.
 	if cfg.OnProgress != nil && eng.Stages() > 0 {
-		var events int64
-		onProgress := cfg.OnProgress
-		eng.Subscribe(engine.Funcs{
-			StageName: "progress",
-			Event:     func(*trace.State, trace.Event) { events++ },
-			DayEnd:    func(_ *trace.State, day int32) { onProgress(day, events) },
-		})
+		eng.Subscribe(&progressStage{fn: cfg.OnProgress})
 	}
-	return &planExec{plan: p, rt: rt, eng: eng}
+	x := &planExec{plan: p, rt: rt, eng: eng}
+	x.armCheckpoints()
+	return x
 }
 
 // run executes the instantiated plan: the engine runs the shared pass
@@ -501,7 +537,12 @@ func (x *planExec) run(ctx context.Context, src trace.Source) (*Result, error) {
 	pool := x.rt.pool
 	var err error
 	if x.eng.Stages() > 0 {
-		_, err = x.eng.RunSourceContext(ctx, src)
+		if x.resumeState != nil {
+			x.rt.res.ResumedFromDay = x.resumeDay
+			_, err = x.eng.ResumeSourceContext(ctx, src, x.resumeState, x.resumeDay)
+		} else {
+			_, err = x.eng.RunSourceContext(ctx, src)
+		}
 	}
 	if err == nil {
 		for _, s := range x.plan.specs {
@@ -536,12 +577,30 @@ func (x *planExec) run(ctx context.Context, src trace.Source) (*Result, error) {
 }
 
 // runPlan is the execution entry shared by RunPlan and the deprecated
-// Run/RunSource shims.
+// Run/RunSource shims. With Config.Resume set it restores the latest
+// compatible checkpoint — latest checkpoint day not past the trace's last
+// day, exact stage-set and fingerprint match — and replays only the days
+// after it; any restore problem discards the instantiation and falls back
+// to a from-zero run, so resume is never worse than not resuming.
 func runPlan(ctx context.Context, src trace.Source, meta trace.Meta, cfg Config, plan *FigurePlan) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return plan.instantiate(cfg, meta).run(ctx, src)
+	x := plan.instantiate(cfg, meta)
+	if cfg.Resume && cfg.CheckpointDir != "" && x.eng.Stages() > 0 {
+		for _, cand := range x.findCheckpoints(meta.Days - 1) {
+			st, day, err := x.loadCheckpoint(src, cand.path)
+			if err == nil {
+				x.resumeState, x.resumeDay = st, day
+				break
+			}
+			// LoadState may have half-restored some stages; a fresh
+			// instantiation guarantees the next attempt (or the day-0
+			// fallback) starts clean.
+			x = plan.instantiate(cfg, meta)
+		}
+	}
+	return x.run(ctx, src)
 }
 
 // RunPlan executes a resolved plan over a re-openable event source on the

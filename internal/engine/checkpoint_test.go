@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// ckptStage is a minimal checkpointable stage: it counts events and can
+// round-trip that count.
+type ckptStage struct {
+	Funcs
+	events int
+}
+
+func (s *ckptStage) OnEvent(_ *trace.State, _ trace.Event) { s.events++ }
+
+func (s *ckptStage) SaveState(w io.Writer) error {
+	_, err := w.Write([]byte{byte(s.events)})
+	return err
+}
+
+func (s *ckptStage) LoadState(r io.Reader) error {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	s.events = int(b[0])
+	return nil
+}
+
+// TestCheckpointCadence pins where the engine fires the checkpoint hook:
+// at every day boundary that is a positive multiple of the cadence, with
+// the state reflecting that day's end.
+func TestCheckpointCadence(t *testing.T) {
+	e := New()
+	s := &ckptStage{Funcs: Funcs{StageName: "count"}}
+	e.Subscribe(s)
+	var days []int32
+	var nodesAt []int
+	e.EnableCheckpoints(2, func(day int32, st *trace.State) error {
+		days = append(days, day)
+		nodesAt = append(nodesAt, st.Graph.NumNodes())
+		return nil
+	})
+	if _, err := e.Run(testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// Events land on days 0, 2, 5; boundaries fire for 0..5. Cadence 2
+	// hits days 2 and 4 (day 0 is excluded — nothing to resume from),
+	// and the end-of-run checkpoint lands on the last replayed day 5.
+	want := []int32{2, 4, 5}
+	if len(days) != len(want) {
+		t.Fatalf("checkpoint days = %v, want %v", days, want)
+	}
+	for i := range want {
+		if days[i] != want[i] {
+			t.Fatalf("checkpoint days = %v, want %v", days, want)
+		}
+		if nodesAt[i] != 3 {
+			t.Fatalf("checkpoint state nodes = %v, want day-end counts", nodesAt)
+		}
+	}
+}
+
+// TestCheckpointRequiresCheckpointers holds the strictness contract:
+// arming checkpoints with a stage that hides its state is a refused run,
+// not a silently incomplete checkpoint.
+func TestCheckpointRequiresCheckpointers(t *testing.T) {
+	e := New()
+	e.Subscribe(Funcs{StageName: "opaque"})
+	e.EnableCheckpoints(2, func(int32, *trace.State) error { return nil })
+	_, err := e.Run(testEvents())
+	if err == nil {
+		t.Fatal("run started with an un-checkpointable stage")
+	}
+}
+
+// TestCheckpointErrorAbortsReplay mirrors the Sync-error contract: a
+// failed checkpoint write stops the pass at that boundary and surfaces
+// the error; no stage Finish runs.
+func TestCheckpointErrorAbortsReplay(t *testing.T) {
+	e := New()
+	finished := false
+	s := &ckptStage{Funcs: Funcs{StageName: "count", Done: func(*trace.State) error {
+		finished = true
+		return nil
+	}}}
+	e.Subscribe(s)
+	boom := errors.New("disk full")
+	e.EnableCheckpoints(2, func(day int32, _ *trace.State) error { return boom })
+	_, err := e.Run(testEvents())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the checkpoint failure", err)
+	}
+	if finished {
+		t.Fatal("stage Finish ran after an aborted replay")
+	}
+	// The pass stopped at the failed barrier: day 2's events applied (the
+	// boundary fires after them), none of day 5's.
+	if s.events != 4 {
+		t.Fatalf("events applied = %d, want 4 (abort at the day-2 barrier)", s.events)
+	}
+}
+
+// TestResumeSourceContext covers the engine's resume entry directly: a
+// restored stage + state fed the remaining days matches a from-zero run.
+func TestResumeSourceContext(t *testing.T) {
+	events := testEvents()
+	src := trace.SliceSource(events)
+
+	full := &ckptStage{Funcs: Funcs{StageName: "count"}}
+	eFull := New()
+	eFull.Subscribe(full)
+	stFull, err := eFull.RunSourceContext(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First segment: replay through day 2 by hand, then resume from 3.
+	part := &ckptStage{Funcs: Funcs{StageName: "count"}}
+	st := trace.NewState(4, 4)
+	for _, ev := range events {
+		if ev.Day > 2 {
+			break
+		}
+		if err := st.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+		part.OnEvent(st, ev)
+	}
+	eRes := New()
+	eRes.Subscribe(part)
+	stRes, err := eRes.ResumeSourceContext(nil, src, st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.events != full.events {
+		t.Fatalf("resumed stage saw %d events, from-zero %d", part.events, full.events)
+	}
+	if stRes.Graph.NumNodes() != stFull.Graph.NumNodes() || stRes.Graph.NumEdges() != stFull.Graph.NumEdges() {
+		t.Fatal("resumed state diverged")
+	}
+}

@@ -15,6 +15,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/trace"
 )
@@ -50,6 +51,31 @@ type Stage interface {
 type Syncer interface {
 	Sync(ctx context.Context, st *trace.State, day int32) error
 }
+
+// Checkpointer is the optional Stage extension of the checkpointed state
+// plane (DESIGN.md §6): a stage that can externalize its accumulator
+// state. SaveState serializes everything the stage has accumulated up to
+// (and including) the current day boundary; LoadState is its inverse,
+// called on a freshly constructed stage before a resumed replay. The
+// contract is bit-exactness: a stage restored from SaveState output and
+// fed the remaining days must end in exactly the state a from-zero run
+// reaches — including any RNG it owns.
+//
+// SaveState runs at the engine's Sync barrier on the replay goroutine; a
+// stage with in-flight fan-out (the δ-sweep) must join its tasks before
+// serializing.
+type Checkpointer interface {
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
+
+// CheckpointFunc writes one checkpoint of the run: st is the shared state
+// at the end of `day`, quiescent until the function returns. The engine
+// calls it at the Sync barrier — after every stage's OnDayEnd and Sync
+// for that day, before the next day's events mutate the shared graph. A
+// non-nil error aborts the replay at that boundary, exactly like a Sync
+// error.
+type CheckpointFunc func(day int32, st *trace.State) error
 
 // Funcs adapts plain functions to the Stage interface; any field may be nil.
 type Funcs struct {
@@ -89,6 +115,9 @@ type Engine struct {
 	stages   []Stage
 	nodeHint int
 	edgeHint int
+
+	ckptEvery int32
+	ckptFn    CheckpointFunc
 }
 
 // New returns an empty engine with default state-capacity hints.
@@ -121,6 +150,26 @@ func (e *Engine) Subscribe(stages ...Stage) {
 // replay pass entirely when nothing is listening.
 func (e *Engine) Stages() int { return len(e.stages) }
 
+// Subscribed returns the subscribed stages in subscription order. The
+// checkpoint plane uses it to pair each stage with its serialized blob.
+func (e *Engine) Subscribed() []Stage {
+	return append([]Stage(nil), e.stages...)
+}
+
+// EnableCheckpoints arms the checkpoint hook: at every day boundary whose
+// day is a positive multiple of `every`, fn runs at the Sync barrier with
+// the quiescent shared state, and once more at the last replayed day
+// after the pass completes (before any stage Finish) — the end-of-run
+// checkpoint an incremental workflow resumes from, so a later run over a
+// grown trace replays exactly the appended days. Arming checkpoints
+// makes hidden stage state an error: every subscribed stage must
+// implement Checkpointer or the run refuses to start — a checkpoint that
+// silently omitted a stage would resume into wrong results.
+func (e *Engine) EnableCheckpoints(every int32, fn CheckpointFunc) {
+	e.ckptEvery = every
+	e.ckptFn = fn
+}
+
 // Run replays events exactly once, dispatching every callback to all
 // subscribed stages, then finishes each stage in subscription order. The
 // first stage error aborts with the stage's name wrapped in.
@@ -142,17 +191,45 @@ func (e *Engine) RunSource(src trace.Source) (*trace.State, error) {
 // the checks (unless a subscribed Syncer needs the abort machinery, in
 // which case an internal background context stands in).
 func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source) (*trace.State, error) {
+	return e.run(ctx, src, trace.NewState(e.nodeHint, e.edgeHint), 0)
+}
+
+// ResumeSourceContext continues a replay from a restored checkpoint: st
+// must be the shared state at the end of day `day` (checkpoint.DecodeState
+// output) and every subscribed stage must already have been restored via
+// LoadState. The replay opens the source at day+1 — a day-indexed
+// FileSource seeks straight there — and fires day boundaries from day+1
+// on, so nothing that happened up to the checkpoint is re-observed.
+func (e *Engine) ResumeSourceContext(ctx context.Context, src trace.Source, st *trace.State, day int32) (*trace.State, error) {
+	return e.run(ctx, src, st, day+1)
+}
+
+// run is the shared pass driver behind RunSourceContext and
+// ResumeSourceContext.
+func (e *Engine) run(ctx context.Context, src trace.Source, st *trace.State, fromDay int32) (*trace.State, error) {
+	if e.ckptFn != nil {
+		for _, s := range e.stages {
+			if _, ok := s.(Checkpointer); !ok {
+				return st, fmt.Errorf("engine: checkpointing enabled but stage %s does not implement Checkpointer", s.Name())
+			}
+		}
+	}
 	d := &trace.Dispatcher{}
 	for _, s := range e.stages {
 		d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
 	}
-	// The per-snapshot barrier: Syncer stages get a cancellable sync point
-	// after each day's callbacks, dispatched last so every stage has seen
-	// the day before any fan-out freezes the state. A sync error cancels
-	// the run's context, which stops the replay at this day boundary —
-	// the shared graph is never mutated past a failed barrier.
-	var syncErr error
-	if syncers := e.syncers(); len(syncers) > 0 {
+	// Barrier hooks — the per-snapshot Sync point and the checkpoint
+	// cadence — are dispatched last, so every stage has seen the day
+	// before any fan-out freezes the state or any serialization reads it.
+	// A hook error cancels the run's context, which stops the replay at
+	// this day boundary: the shared graph is never mutated past a failed
+	// barrier. lastCkpt dedupes the cadence hook against the end-of-run
+	// checkpoint, and keeps a resumed pass from rewriting the checkpoint
+	// it was restored from.
+	lastCkpt := fromDay - 1
+	var hookErr error
+	syncers := e.syncers()
+	if len(syncers) > 0 || e.ckptFn != nil {
 		base := ctx
 		if base == nil {
 			base = context.Background()
@@ -160,26 +237,56 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source) (*trace
 		runCtx, cancel := context.WithCancel(base)
 		defer cancel()
 		ctx = runCtx
-		d.Subscribe(trace.Hooks{OnDayEnd: func(st *trace.State, day int32) {
-			if syncErr != nil {
-				return
+		fail := func(err error) {
+			if hookErr == nil {
+				hookErr = err
+				cancel()
 			}
-			for _, y := range syncers {
-				if err := y.Sync(runCtx, st, day); err != nil {
-					syncErr = err
-					cancel()
+		}
+		if len(syncers) > 0 {
+			d.Subscribe(trace.Hooks{OnDayEnd: func(st *trace.State, day int32) {
+				if hookErr != nil {
 					return
 				}
-			}
-		}})
+				for _, y := range syncers {
+					if err := y.Sync(runCtx, st, day); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}})
+		}
+		if e.ckptFn != nil && e.ckptEvery > 0 {
+			every, fn := e.ckptEvery, e.ckptFn
+			d.Subscribe(trace.Hooks{OnDayEnd: func(st *trace.State, day int32) {
+				if hookErr != nil || runCtx.Err() != nil {
+					return
+				}
+				if day > 0 && day%every == 0 && day > lastCkpt {
+					if err := fn(day, st); err != nil {
+						fail(fmt.Errorf("engine: checkpoint at day %d: %w", day, err))
+					} else {
+						lastCkpt = day
+					}
+				}
+			}})
+		}
 	}
-	st := trace.NewState(e.nodeHint, e.edgeHint)
-	err := trace.ReplaySourceIntoContext(ctx, st, src, d.Hooks())
-	if syncErr != nil {
-		return st, syncErr
+	err := trace.ReplaySourceIntoFromContext(ctx, st, src, d.Hooks(), fromDay)
+	if hookErr != nil {
+		return st, hookErr
 	}
 	if err != nil {
 		return st, err
+	}
+	// The end-of-run checkpoint: the state as of the last replayed day,
+	// written before any Finish (Finish seals results but must never
+	// count as replay state). A resume that replayed nothing new skips
+	// it — the checkpoint it restored is already that state.
+	if e.ckptFn != nil && e.ckptEvery > 0 && st.Day > 0 && st.Day > lastCkpt {
+		if err := e.ckptFn(st.Day, st); err != nil {
+			return st, fmt.Errorf("engine: checkpoint at day %d: %w", st.Day, err)
+		}
 	}
 	for _, s := range e.stages {
 		if err := s.Finish(st); err != nil {

@@ -1,9 +1,13 @@
 package evolution
 
 import (
+	"fmt"
+	"io"
 	"math"
+	"math/rand"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/graph"
 	"repro/internal/powerlaw"
 	"repro/internal/stats"
@@ -201,9 +205,96 @@ func (s *Stage) Finish(_ *trace.State) error {
 // Result returns the assembled analysis after Finish; nil before.
 func (s *Stage) Result() *Result { return s.res }
 
+// stageStateV1 versions the two §3 stages' checkpoint blobs.
+const stageStateV1 = 1
+
+// SaveState implements engine.Checkpointer: the per-node join/activity
+// columns, the per-bucket inter-arrival histograms, and the Fig 2c
+// accumulators. The edgeDays buffer is the stage's largest hidden state
+// — serializing it is what makes the Fig 2b normalized-lifetime pass
+// resumable.
+func (s *Stage) SaveState(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	e.U64(stageStateV1)
+	e.I32s(s.joinDay)
+	e.U64(uint64(len(s.edgeDays)))
+	for _, u := range checkpoint.SortedKeys(s.edgeDays) {
+		e.I32(u)
+		e.I32s(s.edgeDays[u])
+	}
+	e.Bool(s.hasEdges)
+	e.U64(uint64(len(s.hists)))
+	for _, h := range s.hists {
+		e.U64(uint64(len(h.Counts)))
+		for _, i := range checkpoint.SortedKeys(h.Counts) {
+			e.Int(i)
+			e.I64(h.Counts[i])
+		}
+	}
+	e.U64(uint64(len(s.lastEdge)))
+	for _, u := range checkpoint.SortedKeys(s.lastEdge) {
+		e.I32(u)
+		e.I32(s.lastEdge[u])
+	}
+	e.U64(uint64(len(s.minAge)))
+	for _, m := range s.minAge {
+		e.I32(m.Day)
+		e.F64s(m.Frac)
+		e.I64(m.Total)
+	}
+	e.I32(s.curDay)
+	e.I64(s.dayTotal)
+	e.I64s(s.dayHits)
+	return e.Flush()
+}
+
+// LoadState implements engine.Checkpointer.
+func (s *Stage) LoadState(r io.Reader) error {
+	d := checkpoint.NewDecoder(r)
+	if v := d.U64(); d.Err() == nil && v != stageStateV1 {
+		return fmt.Errorf("evolution: checkpoint state version %d", v)
+	}
+	s.joinDay = d.I32s()
+	n := d.Len()
+	s.edgeDays = make(map[graph.NodeID][]int32, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		u := d.I32()
+		s.edgeDays[u] = d.I32s()
+	}
+	s.hasEdges = d.Bool()
+	if hn := d.Len(); d.Err() == nil && hn != len(s.hists) {
+		return fmt.Errorf("evolution: checkpoint has %d histograms, stage %d", hn, len(s.hists))
+	}
+	for _, h := range s.hists {
+		cn := d.Len()
+		counts := make(map[int]int64, min(cn, 1<<16))
+		for i := 0; i < cn && d.Err() == nil; i++ {
+			k := d.Int()
+			counts[k] = d.I64()
+		}
+		h.RestoreCounts(counts)
+	}
+	n = d.Len()
+	s.lastEdge = make(map[graph.NodeID]int32, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		u := d.I32()
+		s.lastEdge[u] = d.I32()
+	}
+	n = d.Len()
+	s.minAge = make([]MinAgeDay, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.minAge = append(s.minAge, MinAgeDay{Day: d.I32(), Frac: d.F64s(), Total: d.I64()})
+	}
+	s.curDay = d.I32()
+	s.dayTotal = d.I64()
+	s.dayHits = d.I64s()
+	return d.Err()
+}
+
 // AlphaStage is the streaming form of AnalyzeAlpha (Fig 3).
 type AlphaStage struct {
 	opt     AlphaOptions
+	src     *stats.Source
 	tracker *powerlaw.AlphaTracker
 	day     int32
 	sawEdge bool
@@ -219,9 +310,11 @@ func NewAlphaStage(opt AlphaOptions) *AlphaStage {
 	if opt.PolyDegree <= 0 {
 		opt.PolyDegree = 5
 	}
+	src := stats.NewSource(opt.Seed)
 	return &AlphaStage{
 		opt:     opt,
-		tracker: powerlaw.NewAlphaTracker(opt.Interval, opt.MinEdges, stats.NewRand(opt.Seed)),
+		src:     src,
+		tracker: powerlaw.NewAlphaTracker(opt.Interval, opt.MinEdges, rand.New(src)),
 	}
 }
 
@@ -276,3 +369,34 @@ func (s *AlphaStage) Finish(_ *trace.State) error {
 
 // Result returns the assembled analysis after Finish; nil before.
 func (s *AlphaStage) Result() *AlphaResult { return s.res }
+
+// SaveState implements engine.Checkpointer: the α tracker's estimator
+// state plus the random-destination RNG's position.
+func (s *AlphaStage) SaveState(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	e.U64(stageStateV1)
+	e.I32(s.day)
+	e.Bool(s.sawEdge)
+	s.tracker.SaveState(e)
+	e.I64(s.src.Draws())
+	return e.Flush()
+}
+
+// LoadState implements engine.Checkpointer.
+func (s *AlphaStage) LoadState(r io.Reader) error {
+	d := checkpoint.NewDecoder(r)
+	if v := d.U64(); d.Err() == nil && v != stageStateV1 {
+		return fmt.Errorf("alpha: checkpoint state version %d", v)
+	}
+	s.day = d.I32()
+	s.sawEdge = d.Bool()
+	if err := s.tracker.LoadState(d); err != nil {
+		return err
+	}
+	draws := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.src.Restore(s.opt.Seed, draws)
+	return nil
+}

@@ -1,0 +1,37 @@
+package gen
+
+import "testing"
+
+// TestExtendedHorizonKeepsPrefix pins the property the incremental
+// checkpoint-resume workflow depends on (README: generate → run with
+// checkpoints → append days → resume): regenerating with the same seed
+// and a longer -days horizon reproduces the shorter trace as an exact
+// prefix and only appends events after it. The simulation is day-driven
+// off one RNG stream, so the horizon never influences earlier days.
+func TestExtendedHorizonKeepsPrefix(t *testing.T) {
+	base := SmallConfig()
+	ext := SmallConfig()
+	ext.Days = base.Days + 30
+
+	short, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Generate(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Events) <= len(short.Events) {
+		t.Fatalf("extended horizon appended nothing: %d vs %d events", len(long.Events), len(short.Events))
+	}
+	for i := range short.Events {
+		if short.Events[i] != long.Events[i] {
+			t.Fatalf("event %d diverged under a longer horizon: %+v vs %+v", i, short.Events[i], long.Events[i])
+		}
+	}
+	for _, ev := range long.Events[len(short.Events):] {
+		if ev.Day < base.Days-1 {
+			t.Fatalf("appended event stamped inside the old horizon: %+v", ev)
+		}
+	}
+}

@@ -122,6 +122,21 @@ func (g *Graph) ForEachEdge(fn func(u, v NodeID)) {
 	}
 }
 
+// FromAdjacency reconstructs a graph directly from a per-node adjacency
+// structure, taking ownership of adj. Every undirected edge must appear
+// in both endpoints' lists (the edge count is half the total list
+// length), and list order is preserved exactly — the checkpoint codec
+// uses this to restore a replayed graph bit-identically, adjacency order
+// included, since traversal order is semantic downstream (Louvain,
+// frozen CSR views).
+func FromAdjacency(adj [][]NodeID) *Graph {
+	var ends int64
+	for _, ns := range adj {
+		ends += int64(len(ns))
+	}
+	return &Graph{adj: adj, edges: ends / 2}
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]NodeID, len(g.adj)), edges: g.edges}

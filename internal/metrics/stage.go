@@ -1,8 +1,11 @@
 package metrics
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
 
+	"repro/internal/checkpoint"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -38,6 +41,7 @@ type StageOptions struct {
 // replay pass; it subscribes to the engine alongside the other analyses.
 type Stage struct {
 	opt StageOptions
+	src *stats.Source
 	rng *rand.Rand
 
 	prevNodes, prevEdges   int64
@@ -66,7 +70,8 @@ func NewStage(opt StageOptions) *Stage {
 	if opt.ClusteringSamples <= 0 {
 		opt.ClusteringSamples = 1000
 	}
-	return &Stage{opt: opt, rng: stats.NewRand(opt.Seed)}
+	src := stats.NewSource(opt.Seed)
+	return &Stage{opt: opt, src: src, rng: rand.New(src)}
 }
 
 // StageName is the stage's planner registry name.
@@ -127,3 +132,75 @@ func (s *Stage) OnDayEnd(st *trace.State, day int32) {
 
 // Finish implements engine.Stage; the series are complete after the pass.
 func (s *Stage) Finish(st *trace.State) error { return nil }
+
+// stageStateV1 versions the stage's checkpoint blob.
+const stageStateV1 = 1
+
+// SaveState implements engine.Checkpointer: the growth/snapshot series
+// accumulated so far, the day-to-day counters, and the sampler RNG's
+// position.
+func (s *Stage) SaveState(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	e.U64(stageStateV1)
+	e.I64(s.prevNodes)
+	e.I64(s.prevEdges)
+	e.I64(s.addedNodes)
+	e.I64(s.addedEdges)
+	e.U64(uint64(len(s.Growth)))
+	for _, g := range s.Growth {
+		e.I32(g.Day)
+		e.I64(g.NodesAdded)
+		e.I64(g.EdgesAdded)
+		e.I64(g.Nodes)
+		e.I64(g.Edges)
+		e.F64(g.NodeGrowthPct)
+		e.F64(g.EdgeGrowthPct)
+	}
+	e.U64(uint64(len(s.Snapshots)))
+	for _, m := range s.Snapshots {
+		e.I32(m.Day)
+		e.I64(m.Nodes)
+		e.I64(m.Edges)
+		e.F64(m.AvgDegree)
+		e.F64(m.PathLength)
+		e.F64(m.Clustering)
+		e.F64(m.Assort)
+	}
+	e.I64(s.src.Draws())
+	return e.Flush()
+}
+
+// LoadState implements engine.Checkpointer.
+func (s *Stage) LoadState(r io.Reader) error {
+	d := checkpoint.NewDecoder(r)
+	if v := d.U64(); d.Err() == nil && v != stageStateV1 {
+		return fmt.Errorf("metrics: checkpoint state version %d", v)
+	}
+	s.prevNodes = d.I64()
+	s.prevEdges = d.I64()
+	s.addedNodes = d.I64()
+	s.addedEdges = d.I64()
+	n := d.Len()
+	s.Growth = make([]GrowthDay, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.Growth = append(s.Growth, GrowthDay{
+			Day: d.I32(), NodesAdded: d.I64(), EdgesAdded: d.I64(),
+			Nodes: d.I64(), Edges: d.I64(),
+			NodeGrowthPct: d.F64(), EdgeGrowthPct: d.F64(),
+		})
+	}
+	n = d.Len()
+	s.Snapshots = make([]Snapshot, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.Snapshots = append(s.Snapshots, Snapshot{
+			Day: d.I32(), Nodes: d.I64(), Edges: d.I64(),
+			AvgDegree: d.F64(), PathLength: d.F64(), Clustering: d.F64(), Assort: d.F64(),
+		})
+	}
+	draws := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.src.Restore(s.opt.Seed, draws)
+	return nil
+}

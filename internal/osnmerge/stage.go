@@ -1,10 +1,13 @@
 package osnmerge
 
 import (
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/graph"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -35,6 +38,7 @@ type Stage struct {
 	gapN     map[graph.NodeID]int64
 	post     []postEdge
 
+	src       *stats.Source
 	rng       *rand.Rand
 	xiaonei   []graph.NodeID
 	fiveQ     []graph.NodeID
@@ -60,6 +64,7 @@ func NewStage(mergeDay int32, opt Options) *Stage {
 	if opt.RatioWindow <= 0 {
 		opt.RatioWindow = 7
 	}
+	src := stats.NewSource(opt.Seed)
 	return &Stage{
 		opt:      opt,
 		mergeDay: mergeDay,
@@ -67,7 +72,8 @@ func NewStage(mergeDay int32, opt Options) *Stage {
 		lastEdge: map[graph.NodeID]int32{},
 		gapSum:   map[graph.NodeID]int64{},
 		gapN:     map[graph.NodeID]int64{},
-		rng:      stats.NewRand(opt.Seed),
+		src:      src,
+		rng:      rand.New(src),
 	}
 }
 
@@ -374,3 +380,93 @@ func (s *Stage) Finish(st *trace.State) error {
 // Result returns the assembled §5 analysis after a successful Finish; nil
 // before.
 func (s *Stage) Result() *Result { return s.res }
+
+// stageStateV1 versions the stage's checkpoint blob.
+const stageStateV1 = 1
+
+// SaveState implements engine.Checkpointer: the per-user gap statistics,
+// the buffered post-merge edges, the origin census, the sampled distance
+// series, and the distance sampler RNG's position.
+func (s *Stage) SaveState(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	e.U64(stageStateV1)
+	e.I32(s.lastDay)
+	e.U64(uint64(len(s.lastEdge)))
+	for _, u := range checkpoint.SortedKeys(s.lastEdge) {
+		e.I32(u)
+		e.I32(s.lastEdge[u])
+	}
+	e.U64(uint64(len(s.gapSum)))
+	for _, u := range checkpoint.SortedKeys(s.gapSum) {
+		e.I32(u)
+		e.I64(s.gapSum[u])
+	}
+	e.U64(uint64(len(s.gapN)))
+	for _, u := range checkpoint.SortedKeys(s.gapN) {
+		e.I32(u)
+		e.I64(s.gapN[u])
+	}
+	e.U64(uint64(len(s.post)))
+	for _, p := range s.post {
+		e.I32(p.day)
+		e.I32(p.u)
+		e.I32(p.v)
+	}
+	e.I32s(s.xiaonei)
+	e.I32s(s.fiveQ)
+	e.U64(uint64(len(s.distances)))
+	for _, dp := range s.distances {
+		e.I32(dp.DaysAfter)
+		e.F64(dp.XiaoneiTo5Q)
+		e.F64(dp.FiveQToXiaonei)
+	}
+	e.I64(s.src.Draws())
+	return e.Flush()
+}
+
+// LoadState implements engine.Checkpointer.
+func (s *Stage) LoadState(r io.Reader) error {
+	d := checkpoint.NewDecoder(r)
+	if v := d.U64(); d.Err() == nil && v != stageStateV1 {
+		return fmt.Errorf("osnmerge: checkpoint state version %d", v)
+	}
+	s.lastDay = d.I32()
+	n := d.Len()
+	s.lastEdge = make(map[graph.NodeID]int32, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		u := d.I32()
+		s.lastEdge[u] = d.I32()
+	}
+	n = d.Len()
+	s.gapSum = make(map[graph.NodeID]int64, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		u := d.I32()
+		s.gapSum[u] = d.I64()
+	}
+	n = d.Len()
+	s.gapN = make(map[graph.NodeID]int64, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		u := d.I32()
+		s.gapN[u] = d.I64()
+	}
+	n = d.Len()
+	s.post = make([]postEdge, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.post = append(s.post, postEdge{day: d.I32(), u: d.I32(), v: d.I32()})
+	}
+	s.xiaonei = d.I32s()
+	s.fiveQ = d.I32s()
+	n = d.Len()
+	s.distances = make([]DistancePoint, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.distances = append(s.distances, DistancePoint{
+			DaysAfter: d.I32(), XiaoneiTo5Q: d.F64(), FiveQToXiaonei: d.F64(),
+		})
+	}
+	draws := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.src.Restore(s.opt.Seed, draws)
+	return nil
+}

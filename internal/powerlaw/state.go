@@ -1,0 +1,77 @@
+package powerlaw
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// Checkpoint codecs for the α(t) machinery. The AlphaTracker's RNG is
+// owned by its creator (evolution.AlphaStage), which serializes the
+// generator position alongside this state.
+
+// SaveState serializes the tracker: every α sample taken so far plus both
+// estimators' degree-class accumulators.
+func (t *AlphaTracker) SaveState(e *checkpoint.Encoder) {
+	e.U64(uint64(len(t.samples)))
+	for _, s := range t.samples {
+		e.I64(s.Edges)
+		e.I32(s.Day)
+		e.F64(s.AlphaHigher)
+		e.F64(s.AlphaRandom)
+		e.F64(s.MSEHigher)
+		e.F64(s.MSERandom)
+	}
+	t.higher.saveState(e)
+	t.random.saveState(e)
+}
+
+// LoadState is SaveState's inverse over a freshly constructed tracker.
+func (t *AlphaTracker) LoadState(d *checkpoint.Decoder) error {
+	n := d.Len()
+	t.samples = make([]AlphaSample, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		t.samples = append(t.samples, AlphaSample{
+			Edges: d.I64(), Day: d.I32(),
+			AlphaHigher: d.F64(), AlphaRandom: d.F64(),
+			MSEHigher: d.F64(), MSERandom: d.F64(),
+		})
+	}
+	if err := t.higher.loadState(d); err != nil {
+		return err
+	}
+	if err := t.random.loadState(d); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+// saveState serializes the estimator's accumulators. The lazily folded
+// denominator (cum/lastStep) is saved as-is: folding is a pure function
+// of (step, countByDeg), so the restored estimator picks up exactly where
+// the saved one left off.
+func (e *PEEstimator) saveState(enc *checkpoint.Encoder) {
+	enc.I32s(e.deg)
+	enc.I64s(e.numer)
+	enc.I64s(e.countByDeg)
+	enc.F64s(e.cum)
+	enc.I64s(e.lastStep)
+	enc.I64(e.step)
+}
+
+func (e *PEEstimator) loadState(d *checkpoint.Decoder) error {
+	e.deg = d.I32s()
+	e.numer = d.I64s()
+	e.countByDeg = d.I64s()
+	e.cum = d.F64s()
+	e.lastStep = d.I64s()
+	e.step = d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(e.numer) != len(e.countByDeg) || len(e.cum) != len(e.countByDeg) || len(e.lastStep) != len(e.countByDeg) {
+		return fmt.Errorf("powerlaw: checkpoint degree-class arrays misaligned (%d/%d/%d/%d)",
+			len(e.numer), len(e.countByDeg), len(e.cum), len(e.lastStep))
+	}
+	return nil
+}

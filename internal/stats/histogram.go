@@ -85,6 +85,18 @@ func NewLogHistogram(base float64) (*LogHistogram, error) {
 	return &LogHistogram{Base: base, Counts: make(map[int]int64)}, nil
 }
 
+// RestoreCounts replaces the histogram's contents with the given bucket
+// counts (the total is their sum), the inverse of reading Counts — used
+// by the checkpoint plane to externalize mid-stream histograms.
+func (h *LogHistogram) RestoreCounts(counts map[int]int64) {
+	h.Counts = make(map[int]int64, len(counts))
+	h.total = 0
+	for i, c := range counts {
+		h.Counts[i] = c
+		h.total += c
+	}
+}
+
 // Add records one sample; non-positive samples are ignored and reported false.
 func (h *LogHistogram) Add(x float64) bool {
 	if x <= 0 {

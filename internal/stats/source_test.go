@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSourceMatchesStdStream holds the no-regression guarantee: a Rand on
+// the counting Source emits exactly the standard seeded stream, so
+// swapping it under the sampled estimators changes no figure.
+func TestSourceMatchesStdStream(t *testing.T) {
+	std := rand.New(rand.NewSource(42))
+	cnt := rand.New(NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if a, b := std.Int63(), cnt.Int63(); a != b {
+			t.Fatalf("draw %d: %d vs %d", i, a, b)
+		}
+	}
+	if a, b := std.Float64(), cnt.Float64(); a != b {
+		t.Fatalf("Float64: %v vs %v", a, b)
+	}
+	if a, b := std.Uint64(), cnt.Uint64(); a != b {
+		t.Fatalf("Uint64: %v vs %v", a, b)
+	}
+}
+
+// TestSourceRestore holds the checkpoint contract: (seed, draws) fully
+// determines the stream, across a mix of Rand methods.
+func TestSourceRestore(t *testing.T) {
+	src := NewSource(7)
+	rng := rand.New(src)
+	for i := 0; i < 257; i++ {
+		switch i % 4 {
+		case 0:
+			rng.Intn(100)
+		case 1:
+			rng.Float64()
+		case 2:
+			rng.Perm(5)
+		case 3:
+			rng.Int63n(1 << 40)
+		}
+	}
+	draws := src.Draws()
+	var want [32]int64
+	for i := range want {
+		want[i] = rng.Int63()
+	}
+
+	restored := NewSource(0)
+	restored.Restore(7, draws)
+	if restored.Draws() != draws {
+		t.Fatalf("draws = %d, want %d", restored.Draws(), draws)
+	}
+	rng2 := rand.New(restored)
+	for i := range want {
+		if got := rng2.Int63(); got != want[i] {
+			t.Fatalf("restored draw %d: %d vs %d", i, got, want[i])
+		}
+	}
+}

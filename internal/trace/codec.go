@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -71,44 +72,25 @@ var (
 	ErrTruncated = errors.New("trace: truncated stream")
 )
 
-// putEvent appends one event's encoding to bw and returns the new
-// previous-day watermark. Its errors carry no "trace:" prefix; the
-// callers wrap them with one plus the event index.
-func putEvent(bw *bufio.Writer, ev Event, prevDay int32) (int32, error) {
+// appendEvent appends one event's encoding to dst. Its errors carry no
+// "trace:" prefix; the callers wrap them with one plus the event index.
+func appendEvent(dst []byte, ev Event, prevDay int32) ([]byte, error) {
 	if ev.Day < prevDay {
-		return prevDay, fmt.Errorf("day regression %d -> %d", prevDay, ev.Day)
+		return dst, fmt.Errorf("day regression %d -> %d", prevDay, ev.Day)
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(x uint64) error {
-		n := binary.PutUvarint(buf[:], x)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := bw.WriteByte(byte(ev.Kind)); err != nil {
-		return prevDay, err
-	}
-	if err := putUvarint(uint64(ev.Day - prevDay)); err != nil {
-		return prevDay, err
-	}
+	dst = append(dst, byte(ev.Kind))
+	dst = binary.AppendUvarint(dst, uint64(ev.Day-prevDay))
 	switch ev.Kind {
 	case AddNode:
-		if err := putUvarint(uint64(ev.U)); err != nil {
-			return prevDay, err
-		}
-		if err := bw.WriteByte(byte(ev.Origin)); err != nil {
-			return prevDay, err
-		}
+		dst = binary.AppendUvarint(dst, uint64(ev.U))
+		dst = append(dst, byte(ev.Origin))
 	case AddEdge:
-		if err := putUvarint(uint64(ev.U)); err != nil {
-			return prevDay, err
-		}
-		if err := putUvarint(uint64(ev.V)); err != nil {
-			return prevDay, err
-		}
+		dst = binary.AppendUvarint(dst, uint64(ev.U))
+		dst = binary.AppendUvarint(dst, uint64(ev.V))
 	default:
-		return prevDay, fmt.Errorf("unknown event kind %d", ev.Kind)
+		return dst, fmt.Errorf("unknown event kind %d", ev.Kind)
 	}
-	return ev.Day, nil
+	return dst, nil
 }
 
 // Encode writes tr to w in the binary trace format.
@@ -137,10 +119,16 @@ func Encode(w io.Writer, tr *Trace) error {
 		return err
 	}
 	prevDay := int32(0)
+	var scratch []byte
 	for i, ev := range tr.Events {
-		if prevDay, err = putEvent(bw, ev, prevDay); err != nil {
+		scratch, err = appendEvent(scratch[:0], ev, prevDay)
+		if err != nil {
 			return fmt.Errorf("trace: event %d: %w", i, err)
 		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		prevDay = ev.Day
 	}
 	return bw.Flush()
 }
@@ -196,6 +184,15 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	}
 	d.count = count
 	return d, nil
+}
+
+// resumeDecoder returns a decoder positioned mid-stream: br must be
+// positioned at the first byte of an event boundary, remaining is the
+// number of events from there to the end of the stream, and day the
+// day-delta watermark in force at that boundary. FileSource.OpenAt builds
+// these from the trace file's day index.
+func resumeDecoder(br *bufio.Reader, meta Meta, remaining uint64, day int32) *Decoder {
+	return &Decoder{br: br, meta: meta, count: remaining, day: day}
 }
 
 // Meta returns the header's metadata.
@@ -314,13 +311,154 @@ func putUvarint10(buf []byte, x uint64) {
 	buf[encCountPad-1] = byte(x)
 }
 
+// DayIndexEntry locates the first event of one day in the encoded event
+// stream, so a cursor can start mid-trace without decoding the prefix.
+type DayIndexEntry struct {
+	// Day is the entry's day: the located event is the stream's first
+	// event with this Day.
+	Day int32
+	// Offset is the absolute byte offset of that event's encoding.
+	Offset int64
+	// Event is that event's ordinal in the stream.
+	Event uint64
+	// PrevDay is the day-delta watermark in force before that event.
+	PrevDay int32
+}
+
+// Day-index footer layout, appended by the streaming Encoder after the
+// event stream and tolerated-if-absent by every decode path (the decoder
+// stops after the header's event count, so trailing bytes are invisible
+// to it):
+//
+//	magic "RRX1" (4 bytes)
+//	uvarint index version (1)
+//	uvarint entry count
+//	per entry, delta-encoded against the previous entry:
+//	  uvarint day delta, uvarint offset delta, uvarint event delta,
+//	  uvarint (day - prevDay) watermark gap
+//	uint32 LE CRC-32 (IEEE) of everything above
+//	trailer: uint64 LE footer length (magic through CRC), magic "RRXE"
+//
+// The fixed-width trailer lets a reader find the footer by seeking to the
+// end of the file; files written before the index existed (or by the
+// one-shot Encode) simply have no trailer and decode as before. The CRC
+// exists because a damaged index must read as *absent*, never as a wrong
+// seek target: OpenAt trusts an entry's event ordinal for the resumed
+// decoder's remaining-count, so silent corruption there would truncate a
+// replay instead of failing it.
+var (
+	indexMagic    = [4]byte{'R', 'R', 'X', '1'}
+	indexEndMagic = [4]byte{'R', 'R', 'X', 'E'}
+)
+
+const (
+	indexVersion = 1
+	// indexTrailerLen is the fixed trailer: 8-byte length + end magic.
+	indexTrailerLen = 8 + 4
+	// maxIndexEntries bounds a parsed index (one entry per distinct day).
+	maxIndexEntries = 1 << 24
+)
+
+// appendDayIndex renders the index footer (magic through CRC, no
+// trailer).
+func appendDayIndex(dst []byte, idx []DayIndexEntry) []byte {
+	start := len(dst)
+	dst = append(dst, indexMagic[:]...)
+	dst = binary.AppendUvarint(dst, indexVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(idx)))
+	var prev DayIndexEntry
+	for _, e := range idx {
+		dst = binary.AppendUvarint(dst, uint64(e.Day-prev.Day))
+		dst = binary.AppendUvarint(dst, uint64(e.Offset-prev.Offset))
+		dst = binary.AppendUvarint(dst, e.Event-prev.Event)
+		dst = binary.AppendUvarint(dst, uint64(e.Day-e.PrevDay))
+		prev = e
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
+}
+
+// parseDayIndex decodes an index footer rendered by appendDayIndex. Any
+// structural or checksum problem returns an error; callers treat a bad
+// index as absent, never as data corruption — the event stream is
+// self-contained.
+func parseDayIndex(b []byte) ([]DayIndexEntry, error) {
+	if len(b) < len(indexMagic)+4 || [4]byte(b[:4]) != indexMagic {
+		return nil, errors.New("trace: bad index magic")
+	}
+	crc := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != crc {
+		return nil, errors.New("trace: index checksum mismatch")
+	}
+	b = b[4 : len(b)-4]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, errors.New("trace: truncated index")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	ver, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if ver != indexVersion {
+		return nil, fmt.Errorf("trace: index version %d", ver)
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxIndexEntries {
+		return nil, fmt.Errorf("trace: index declares %d entries", count)
+	}
+	hint := count
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	idx := make([]DayIndexEntry, 0, hint)
+	var prev DayIndexEntry
+	for i := uint64(0); i < count; i++ {
+		var vs [4]uint64
+		for j := range vs {
+			if vs[j], err = next(); err != nil {
+				return nil, err
+			}
+		}
+		day := int64(prev.Day) + int64(vs[0])
+		off := prev.Offset + int64(vs[1])
+		back := int64(vs[3])
+		if day > math.MaxInt32 || off < 0 || back > day {
+			return nil, errors.New("trace: index entry out of range")
+		}
+		e := DayIndexEntry{
+			Day:     int32(day),
+			Offset:  off,
+			Event:   prev.Event + vs[2],
+			PrevDay: int32(day - back),
+		}
+		if i == 0 && (e.Event != 0 || e.PrevDay != 0) {
+			return nil, errors.New("trace: index head entry not at stream start")
+		}
+		if i > 0 && (e.Day <= prev.Day || e.Offset <= prev.Offset || e.Event <= prev.Event) {
+			return nil, errors.New("trace: index entries not increasing")
+		}
+		idx = append(idx, e)
+		prev = e
+	}
+	return idx, nil
+}
+
 // Encoder is the incremental trace sink: events are appended one at a
 // time (e.g. straight from gen.GenerateStream) and the header — meta
 // counters accumulated from the events plus the event count — is
 // back-patched on Close. A trace therefore streams to disk without the
 // event slice or the encoded bytes ever being resident. The writer must
 // be seekable (a file); the output decodes with the same Decoder/Decode
-// as Encode's.
+// as Encode's. Close also appends the per-day byte-offset index footer
+// that lets FileSource.OpenAt start a cursor mid-trace.
 type Encoder struct {
 	ws      io.WriteSeeker
 	bw      *bufio.Writer
@@ -328,6 +466,10 @@ type Encoder struct {
 	count   uint64
 	prevDay int32
 	closed  bool
+
+	offset  int64 // absolute byte offset of the next event's encoding
+	index   []DayIndexEntry
+	scratch []byte
 }
 
 // NewEncoder writes a placeholder header to ws and returns a ready sink.
@@ -345,6 +487,7 @@ func NewEncoder(ws io.WriteSeeker) (*Encoder, error) {
 	if _, err := e.bw.Write(hdr); err != nil {
 		return nil, err
 	}
+	e.offset = int64(len(hdr))
 	return e, nil
 }
 
@@ -388,16 +531,27 @@ func (e *Encoder) header(final bool) ([]byte, error) {
 }
 
 // Write appends one event. Events must arrive in non-decreasing day
-// order, exactly as a replay or generator emits them.
+// order, exactly as a replay or generator emits them. The first event of
+// every new day is recorded in the day index that Close appends.
 func (e *Encoder) Write(ev Event) error {
 	if e.closed {
 		return errors.New("trace: encoder is closed")
 	}
-	prev, err := putEvent(e.bw, ev, e.prevDay)
+	scratch, err := appendEvent(e.scratch[:0], ev, e.prevDay)
 	if err != nil {
 		return fmt.Errorf("trace: event %d: %w", e.count, err)
 	}
-	e.prevDay = prev
+	e.scratch = scratch
+	if e.count == 0 || ev.Day > e.prevDay {
+		e.index = append(e.index, DayIndexEntry{
+			Day: ev.Day, Offset: e.offset, Event: e.count, PrevDay: e.prevDay,
+		})
+	}
+	if _, err := e.bw.Write(scratch); err != nil {
+		return err
+	}
+	e.offset += int64(len(scratch))
+	e.prevDay = ev.Day
 	e.meta.Accumulate(ev)
 	e.count++
 	return nil
@@ -407,14 +561,22 @@ func (e *Encoder) Write(ev Event) error {
 // SetMergeDay knowledge); after Close it is exactly what the header holds.
 func (e *Encoder) Meta() Meta { return e.meta }
 
-// Close flushes the event stream and back-patches the header with the
-// final meta and count. The encoder is unusable afterwards; closing the
-// underlying file stays the caller's job.
+// Close flushes the event stream, appends the day-index footer, and
+// back-patches the header with the final meta and count. The encoder is
+// unusable afterwards; closing the underlying file stays the caller's job.
 func (e *Encoder) Close() error {
 	if e.closed {
 		return nil
 	}
 	e.closed = true
+	footer := appendDayIndex(nil, e.index)
+	var trailer [indexTrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
+	copy(trailer[8:], indexEndMagic[:])
+	footer = append(footer, trailer[:]...)
+	if _, err := e.bw.Write(footer); err != nil {
+		return err
+	}
 	if err := e.bw.Flush(); err != nil {
 		return err
 	}

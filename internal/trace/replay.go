@@ -103,20 +103,35 @@ func ReplaySourceInto(st *State, src Source, hooks Hooks) error {
 // past the cancellation. A nil ctx disables the checks, making this
 // identical to ReplaySourceInto.
 func ReplaySourceIntoContext(ctx context.Context, st *State, src Source, hooks Hooks) error {
-	cur, err := src.Open()
+	return ReplaySourceIntoFromContext(ctx, st, src, hooks, 0)
+}
+
+// ReplaySourceIntoFromContext resumes a replay mid-trace: it opens the
+// source at fromDay (via OpenSourceAt, so a day-indexed FileSource seeks
+// instead of decoding the prefix) and fires day boundaries from fromDay
+// onward — the day-end for fromDay-1 and everything before it is the
+// prior segment's business (a restored checkpoint already saw them).
+// fromDay <= 0 is a whole-trace replay. The caller's st must be the
+// state as of the end of day fromDay-1.
+func ReplaySourceIntoFromContext(ctx context.Context, st *State, src Source, hooks Hooks, fromDay int32) error {
+	cur, err := OpenSourceAt(src, fromDay)
 	if err != nil {
 		return err
 	}
-	err = replayCursor(ctx, st, cur, hooks)
+	err = replayCursor(ctx, st, cur, hooks, fromDay)
 	if cerr := cur.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// replayCursor drains one cursor through a Sink.
-func replayCursor(ctx context.Context, st *State, cur Cursor, hooks Hooks) error {
+// replayCursor drains one cursor through a Sink whose day watermark
+// starts at fromDay.
+func replayCursor(ctx context.Context, st *State, cur Cursor, hooks Hooks, fromDay int32) error {
 	k := NewSinkContext(ctx, st, hooks)
+	if fromDay > k.day {
+		k.day = fromDay
+	}
 	for {
 		ev, ok, err := cur.Next()
 		if err != nil {

@@ -1,8 +1,12 @@
 package trace
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 )
 
 // Cursor is one forward pass over a trace's events.
@@ -34,12 +38,111 @@ type MetaSource interface {
 	Meta() Meta
 }
 
+// DaySeeker is a Source that can open a cursor positioned at the first
+// event whose day is >= day without decoding the prefix — the
+// day-addressable data plane that checkpoint resume and mid-trace reads
+// are built on. Like Open, OpenAt must be safe for concurrent use.
+type DaySeeker interface {
+	OpenAt(day int32) (Cursor, error)
+}
+
+// OpenSourceAt opens a cursor positioned at the first event with
+// Day >= day: through the source's own OpenAt when it is a DaySeeker
+// (FileSource seeks via the trace file's day index, SliceSource binary-
+// searches), and by decode-and-discard of the prefix otherwise. day <= 0
+// is a plain Open.
+func OpenSourceAt(src Source, day int32) (Cursor, error) {
+	if day <= 0 {
+		return src.Open()
+	}
+	if ds, ok := src.(DaySeeker); ok {
+		return ds.OpenAt(day)
+	}
+	cur, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	skipped, err := skipToDay(cur, day)
+	if err != nil {
+		cur.Close()
+		return nil, err
+	}
+	return skipped, nil
+}
+
+// EventsThrough returns how many events in the source have Day <= day,
+// for sources that can answer without a replay pass: a day-indexed
+// FileSource (index lookup) or an in-memory slice (binary search).
+// ok=false means the source cannot say cheaply. The checkpoint plane
+// uses it as a consistency probe: a restored state must account for
+// exactly this many events, or the trace is not the one the checkpoint
+// was written against (e.g. regenerated with the same seed but different
+// generator knobs).
+func EventsThrough(src Source, day int32) (int64, bool) {
+	switch s := src.(type) {
+	case *FileSource:
+		if s.index == nil {
+			return 0, false
+		}
+		i := sort.Search(len(s.index), func(i int) bool { return s.index[i].Day > day })
+		if i == len(s.index) {
+			return int64(s.events), true
+		}
+		return int64(s.index[i].Event), true
+	case SliceSource:
+		return int64(sort.Search(len(s), func(i int) bool { return s[i].Day > day })), true
+	case TraceSource:
+		return EventsThrough(SliceSource(s.Trace.Events), day)
+	}
+	return 0, false
+}
+
+// skipToDay advances cur past every event with Day < day and returns a
+// cursor that yields the remainder (the boundary event is buffered).
+func skipToDay(cur Cursor, day int32) (Cursor, error) {
+	for {
+		ev, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return cur, nil
+		}
+		if ev.Day >= day {
+			return &pendingCursor{Cursor: cur, pending: ev, has: true}, nil
+		}
+	}
+}
+
+// pendingCursor replays one buffered event before resuming its inner
+// cursor.
+type pendingCursor struct {
+	Cursor
+	pending Event
+	has     bool
+}
+
+func (c *pendingCursor) Next() (Event, bool, error) {
+	if c.has {
+		c.has = false
+		return c.pending, true, nil
+	}
+	return c.Cursor.Next()
+}
+
 // SliceSource adapts an in-memory event slice to Source. It is the
 // trivial data plane: Open costs nothing and cursors share the slice.
 type SliceSource []Event
 
 // Open implements Source.
 func (s SliceSource) Open() (Cursor, error) { return &sliceCursor{events: s}, nil }
+
+// OpenAt implements DaySeeker by binary search over the day-ordered
+// events.
+func (s SliceSource) OpenAt(day int32) (Cursor, error) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Day >= day })
+	return &sliceCursor{events: s, i: i}, nil
+}
 
 type sliceCursor struct {
 	events []Event
@@ -63,6 +166,11 @@ type TraceSource struct{ Trace *Trace }
 // Open implements Source.
 func (s TraceSource) Open() (Cursor, error) { return SliceSource(s.Trace.Events).Open() }
 
+// OpenAt implements DaySeeker.
+func (s TraceSource) OpenAt(day int32) (Cursor, error) {
+	return SliceSource(s.Trace.Events).OpenAt(day)
+}
+
 // Meta implements MetaSource.
 func (s TraceSource) Meta() Meta { return s.Trace.Meta }
 
@@ -72,13 +180,20 @@ func (tr *Trace) Source() MetaSource { return TraceSource{Trace: tr} }
 // FileSource replays a binary trace file straight off disk: every Open
 // decodes the stream incrementally through a Decoder, so a pass holds
 // O(1) memory regardless of event count — the out-of-core data plane.
+// When the file carries a day-index footer (written by the streaming
+// Encoder), OpenAt seeks straight to a day's first event; index-less
+// files (e.g. the one-shot Encode's output) still decode and OpenAt
+// falls back to decode-and-discard.
 type FileSource struct {
-	Path string
-	meta Meta
+	Path   string
+	meta   Meta
+	events uint64
+	index  []DayIndexEntry // nil when the file has no (valid) index footer
 }
 
 // OpenFileSource validates the file's header once and returns a
-// FileSource carrying its Meta. The events are not read.
+// FileSource carrying its Meta and, when present, its day index. The
+// events are not read.
 func OpenFileSource(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -89,11 +204,57 @@ func OpenFileSource(path string) (*FileSource, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	return &FileSource{Path: path, meta: dec.Meta()}, nil
+	s := &FileSource{Path: path, meta: dec.Meta(), events: dec.Events()}
+	s.index = readDayIndex(f, dec.Events()) // best effort; nil means "no index"
+	return s, nil
 }
+
+// readDayIndex reads the day-index footer from the end of the file. Any
+// failure — no trailer, short file, checksum mismatch, entries that
+// point outside the file or past the header's event count — yields nil:
+// an index is an accelerator, never a correctness requirement.
+func readDayIndex(f *os.File, events uint64) []DayIndexEntry {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < indexTrailerLen {
+		return nil
+	}
+	var trailer [indexTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], fi.Size()-indexTrailerLen); err != nil {
+		return nil
+	}
+	if [4]byte(trailer[8:12]) != indexEndMagic {
+		return nil
+	}
+	n := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if n <= 0 || n > fi.Size()-indexTrailerLen || n > maxIndexFooterBytes {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, fi.Size()-indexTrailerLen-n); err != nil {
+		return nil
+	}
+	idx, err := parseDayIndex(buf)
+	if err != nil {
+		return nil
+	}
+	if len(idx) > 0 {
+		last := idx[len(idx)-1]
+		if last.Event >= events || last.Offset >= fi.Size()-indexTrailerLen-n {
+			return nil
+		}
+	}
+	return idx
+}
+
+// maxIndexFooterBytes bounds how large a footer readDayIndex will load.
+const maxIndexFooterBytes = 1 << 28
 
 // Meta implements MetaSource with the header's metadata.
 func (s *FileSource) Meta() Meta { return s.meta }
+
+// Index returns the file's day index, nil when absent. The slice is
+// shared and must not be modified.
+func (s *FileSource) Index() []DayIndexEntry { return s.index }
 
 // Open implements Source: each pass opens its own file handle and
 // decoder, so concurrent passes (the δ-sweep fan-out) never share
@@ -103,19 +264,74 @@ func (s *FileSource) Open() (Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	dec, err := NewDecoder(f)
+	cr := &countingReader{r: f}
+	dec, err := NewDecoder(bufio.NewReader(cr))
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("trace: %s: %w", s.Path, err)
 	}
-	return &fileCursor{f: f, dec: dec}, nil
+	return &fileCursor{f: f, cr: cr, dec: dec}, nil
+}
+
+// OpenAt implements DaySeeker. With a day index the cursor seeks to the
+// first event of the requested day and decodes nothing before it; without
+// one it decodes and discards the prefix.
+func (s *FileSource) OpenAt(day int32) (Cursor, error) {
+	if day <= 0 || s.index == nil {
+		cur, err := s.Open()
+		if err != nil || day <= 0 {
+			return cur, err
+		}
+		skipped, err := skipToDay(cur, day)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		return skipped, nil
+	}
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].Day >= day })
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	if i == len(s.index) {
+		// Past the last day with events: an exhausted cursor.
+		cr := &countingReader{r: f}
+		dec := resumeDecoder(bufio.NewReader(cr), s.meta, 0, 0)
+		return &fileCursor{f: f, cr: cr, dec: dec}, nil
+	}
+	e := s.index[i]
+	if _, err := f.Seek(e.Offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	cr := &countingReader{r: f}
+	dec := resumeDecoder(bufio.NewReader(cr), s.meta, s.events-e.Event, e.PrevDay)
+	return &fileCursor{f: f, cr: cr, dec: dec}, nil
+}
+
+// countingReader counts the bytes a cursor actually reads off disk — the
+// observable that the OpenAt tests hold prefix-skipping accountable with.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 type fileCursor struct {
 	f   *os.File
+	cr  *countingReader
 	dec *Decoder
 }
 
 func (c *fileCursor) Next() (Event, bool, error) { return c.dec.Next() }
 
 func (c *fileCursor) Close() error { return c.f.Close() }
+
+// bytesRead reports how many bytes this cursor has read off disk.
+func (c *fileCursor) bytesRead() int64 { return c.cr.n }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -240,13 +241,20 @@ func TestFileSourceTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The file ends with the day-index footer; find its length from the
+	// trailer so the cut lands inside the event stream, not the index.
+	footer := int(int64(len(raw)) - indexTrailerLen -
+		int64(binary.LittleEndian.Uint64(raw[len(raw)-indexTrailerLen:])))
 	cut := filepath.Join(t.TempDir(), "cut.trace")
-	if err := os.WriteFile(cut, raw[:len(raw)-7], 0o644); err != nil {
+	if err := os.WriteFile(cut, raw[:footer-7], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	fs, err := OpenFileSource(cut) // header is intact
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fs.Index() != nil {
+		t.Fatal("truncated file kept a day index")
 	}
 	cur, err := fs.Open()
 	if err != nil {

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -164,12 +165,16 @@ func TestValidateSourceFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A truncated payload must surface through the streaming validator
-	// (the header still parses, so the damage only shows mid-pass).
+	// (the header still parses, so the damage only shows mid-pass). The
+	// cut lands inside the event stream, past the day-index footer whose
+	// length the fixed trailer records — clipping only the footer would
+	// merely drop the index.
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+	footer := len(raw) - 12 - int(binary.LittleEndian.Uint64(raw[len(raw)-12:len(raw)-4]))
+	if err := os.WriteFile(path, raw[:footer-4], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	src, err = OpenTraceFile(path)
