@@ -808,3 +808,60 @@ func BenchmarkIncrementalResume(b *testing.B) {
 
 // Silence unused-import gymnastics for packages used only in some benches.
 var _ = community.FeatureCount
+
+// BenchmarkParallelReplay measures the parallel shared pass end to end:
+// the full plan (every stage plus a 2-δ sweep) over a disk-backed trace
+// at 1/2/4/8 workers, reporting sec/op and peak live heap per worker
+// count. Full-scale runs use the large preset with thinned measurement
+// cadences — the same device as BenchmarkDeltaSweep: the per-day replay
+// and stage work being parallelized is identical at any cadence, and
+// thinning the snapshot schedule keeps one measured iteration in
+// minutes. -short drops to the test preset for the CI smoke.
+//
+// Speedup is bounded by the host's core count (the workers beyond
+// GOMAXPROCS only add hand-off overhead); BENCH_parallel.json records
+// the measurement host's core count next to the datapoints.
+func BenchmarkParallelReplay(b *testing.B) {
+	gcfg := gen.LargeConfig()
+	if testing.Short() {
+		gcfg = gen.SmallConfig()
+	}
+	path := filepath.Join(b.TempDir(), "parallel.trace")
+	meta, err := gen.GenerateToFile(gcfg, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := trace.OpenFileSource(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("trace: %d nodes, %d edges, %d days; GOMAXPROCS=%d",
+		meta.Nodes, meta.Edges, meta.Days, runtime.GOMAXPROCS(0))
+
+	cfg := core.DefaultConfig()
+	cfg.DeltaSweep = []float64{0.01, 0.1}
+	if !testing.Short() {
+		cfg.MetricsEvery = 30
+		cfg.PathEvery = 90
+		cfg.Community.SnapshotEvery = 300
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				stop := samplePeakHeap()
+				res, err := core.RunPlan(ctx, src, c, nil)
+				peak := stop()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.DeltaSweep) != len(c.DeltaSweep) {
+					b.Fatalf("sweep runs = %d", len(res.DeltaSweep))
+				}
+				b.ReportMetric(peak, "peak-live-MB")
+			}
+		})
+	}
+}

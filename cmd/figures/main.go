@@ -47,6 +47,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel shared pass and all fan-out work (results are bit-identical at any count)")
 	encode := flag.String("encode", "", "stream the generated trace to this file and exit (no analysis)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the pipeline run to this file")
@@ -130,6 +131,10 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	if *workers < 1 {
+		log.Fatalf("-workers must be >= 1, got %d", *workers)
+	}
+	cfg.Workers = *workers
 	if *snapshotEvery > 0 {
 		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
 	}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,6 +40,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel shared pass and all fan-out work (results are bit-identical at any count)")
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
 	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
 	validate := flag.Bool("validate", false, "stream-validate the trace's structural invariants before analyzing")
@@ -65,6 +67,10 @@ func main() {
 		*tracePath, meta.Nodes, meta.Edges, meta.Days, meta.MergeDay)
 
 	cfg := core.DefaultConfig()
+	if *workers < 1 {
+		log.Fatalf("-workers must be >= 1, got %d", *workers)
+	}
+	cfg.Workers = *workers
 	if *snapshotEvery > 0 {
 		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
 	}

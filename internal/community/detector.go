@@ -23,6 +23,7 @@ import (
 // assignment). Concurrency across δ values is the caller's job.
 type Detector struct {
 	opt      Options
+	workers  int               // Louvain-prepare fan-out width; see SetWorkers
 	wantDist map[int32][]int32 // snapshot day -> requested SizeDistDays it serves
 	tracker  *tracking.Tracker
 	prevComm []int32
@@ -49,6 +50,14 @@ func NewDetector(opt Options) *Detector {
 	return d
 }
 
+// SetWorkers sets the fan-out width of the per-snapshot Louvain prepare
+// (louvain.PrepareWorkers) when Advance has to build its own weighted
+// view. It is a throughput knob only — the prepared view is bit-identical
+// at any width — and therefore lives outside Options, which is hashed
+// into the checkpoint fingerprint: checkpoints must stay portable across
+// worker counts.
+func (d *Detector) SetWorkers(n int) { d.workers = n }
+
 // due reports whether day is a scheduled snapshot day for this detector
 // with a graph of `nodes` nodes.
 func (d *Detector) due(day int32, nodes int) bool {
@@ -73,7 +82,7 @@ func (d *Detector) AdvancePrepared(day int32, g graph.View, prep *louvain.Prepar
 		return
 	}
 	if prep == nil {
-		prep = louvain.Prepare(g)
+		prep = louvain.PrepareWorkers(g, d.workers)
 	}
 	n := g.NumNodes()
 	// Incremental Louvain: seed with the previous snapshot's assignment;

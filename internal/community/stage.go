@@ -34,6 +34,15 @@ const (
 // Name implements engine.Stage.
 func (s *Stage) Name() string { return StageName }
 
+// OverlapSafe marks the stage for the engine's parallel driver: OnEvent
+// is a no-op and OnDayEnd's snapshot reads the quiescent graph read-only
+// (the detector owns no graph — see Detector).
+func (s *Stage) OverlapSafe() {}
+
+// SetWorkers forwards the kernel fan-out width to the detector's
+// per-snapshot Louvain prepare.
+func (s *Stage) SetWorkers(n int) { s.det.SetWorkers(n) }
+
 // OnEvent implements engine.Stage; the pipeline is snapshot-driven.
 func (s *Stage) OnEvent(_ *trace.State, _ trace.Event) {}
 
@@ -92,6 +101,11 @@ func NewUsersStage(buckets []SizeBucket, source func() *Result) *UsersStage {
 
 // Name implements engine.Stage.
 func (s *UsersStage) Name() string { return UsersStageName }
+
+// OverlapSafe marks the stage for the engine's parallel driver: OnEvent
+// records activity in private per-node maps and OnDayEnd is a no-op (the
+// community join happens in Finish, post-pass).
+func (s *UsersStage) OverlapSafe() {}
 
 // OnEvent records per-node edge activity and inter-arrival gaps.
 func (s *UsersStage) OnEvent(_ *trace.State, ev trace.Event) {

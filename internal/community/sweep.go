@@ -87,9 +87,12 @@ func (s *SweepStage) Sync(ctx context.Context, st *trace.State, day int32) error
 		return err
 	}
 	// One frozen CSR view for the trackers plus one prepared Louvain view,
-	// both built once here and shared read-only by every δ worker.
+	// both built once here and shared read-only by every δ worker. The
+	// prepare itself fans out across the pool's worker budget — the frozen
+	// CSR is immutable, so the level-0 build is safely (and bit-
+	// identically) parallel.
 	frozen := st.Graph.Freeze()
-	prep := louvain.Prepare(frozen)
+	prep := louvain.PrepareWorkers(frozen, s.pool.Workers())
 	for _, det := range s.dets {
 		det := det
 		s.outstanding++

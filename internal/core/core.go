@@ -64,6 +64,18 @@ type Config struct {
 	// Seed for sampled metrics.
 	Seed int64
 
+	// Workers bounds the run's concurrency: the worker pool the δ-sweep
+	// and SVM evaluation fan out on, the engine's parallel shared pass
+	// (decode-ahead reader plus per-day stage overlap), and the kernel
+	// fan-outs (parallel Louvain prepare, sampled-BFS sources) all size
+	// themselves by it. <= 0 selects GOMAXPROCS; 1 forces the fully
+	// sequential pass. It is a throughput knob, never a result knob:
+	// every figure is bit-identical at any setting
+	// (TestParallelWorkersMatch), and Workers is deliberately excluded
+	// from the checkpoint fingerprint, so checkpoints written at one
+	// worker count resume at any other.
+	Workers int
+
 	// OnProgress, when non-nil, is invoked at every day boundary of the
 	// shared streaming pass with the finished day and the cumulative
 	// number of events applied. Since the δ-sweep also rides the shared

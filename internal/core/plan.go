@@ -82,6 +82,7 @@ var stageRegistry = []*StageSpec{
 				PathSources:       rt.cfg.PathSources,
 				ClusteringSamples: rt.cfg.ClusteringSamples,
 				Seed:              rt.cfg.Seed,
+				Workers:           rt.pool.Workers(),
 			})
 			eng.Subscribe(rt.metrics)
 		},
@@ -131,6 +132,7 @@ var stageRegistry = []*StageSpec{
 		Figures: []string{"fig5a", "fig5b", "fig5c", "fig6a", "fig6c"},
 		subscribe: func(rt *planRT, eng *engine.Engine) {
 			rt.comm = community.NewStage(rt.cfg.Community)
+			rt.comm.SetWorkers(rt.pool.Workers())
 			eng.Subscribe(rt.comm)
 		},
 		harvest: func(rt *planRT) { rt.res.Community = rt.comm.Result() },
@@ -501,9 +503,13 @@ type planExec struct {
 // fan-out), and subscribes the shared-pass stages in registry order.
 func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	cfg = cfg.withDefaults()
-	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta, ResumedFromDay: -1}, pool: engine.NewPool(0)}
+	// One pool (and one resolved worker count) serves the whole run: the
+	// sweep/SVM fan-out, the engine's per-day stage overlap, and the
+	// kernel fan-outs all size themselves by it.
+	rt := &planRT{cfg: cfg, meta: meta, res: &Result{Meta: meta, ResumedFromDay: -1}, pool: engine.NewPool(cfg.Workers)}
 	eng := engine.New()
 	eng.Hint(int(meta.Nodes), int(meta.Edges))
+	eng.SetWorkers(rt.pool.Workers())
 	for _, s := range p.specs {
 		if s.subscribe != nil {
 			s.subscribe(rt, eng)
@@ -513,7 +519,12 @@ func (p *FigurePlan) instantiate(cfg Config, meta trace.Meta) *planExec {
 	// when some analysis stage gives that pass a reason to run (with an
 	// empty δ list even a sweep-only plan subscribes nothing). By day-end
 	// every event has been dispatched to all subscribers, so position in
-	// the subscription order doesn't change the reported counts.
+	// the subscription order doesn't change the reported counts. The
+	// stage is deliberately NOT Overlappable: it stays inline on the
+	// replay goroutine, counting each event exactly once as it is
+	// applied (never the prefetch reader's decode-ahead), and its
+	// OnDayEnd fires after the parallel day barrier — so OnProgress is
+	// emitted once per day, in strict day order, at any worker count.
 	if cfg.OnProgress != nil && eng.Stages() > 0 {
 		eng.Subscribe(&progressStage{fn: cfg.OnProgress})
 	}

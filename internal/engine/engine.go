@@ -115,6 +115,7 @@ type Engine struct {
 	stages   []Stage
 	nodeHint int
 	edgeHint int
+	workers  int
 
 	ckptEvery int32
 	ckptFn    CheckpointFunc
@@ -139,6 +140,19 @@ func (e *Engine) Hint(nodes, edges int) {
 		e.edgeHint = edges
 	}
 }
+
+// SetWorkers sets the worker budget of the parallel shared pass. With
+// workers > 1 the replay pipelines: the source is wrapped in
+// trace.Prefetch so decode runs ahead of apply on a reader goroutine, and
+// Overlappable stages' per-day work fans out across at most `workers`
+// goroutines at each day barrier (see parallelDriver). workers <= 1 — the
+// default — keeps the exact sequential dispatch. Either way every figure
+// is bit-identical: the parallel driver preserves each stage's own event
+// order and the barrier keeps Sync/checkpoint semantics unchanged, so
+// worker count is a throughput knob, never a result knob (and is
+// deliberately absent from the checkpoint fingerprint — checkpoints
+// written at one worker count resume at any other).
+func (e *Engine) SetWorkers(n int) { e.workers = n }
 
 // Subscribe registers stages; callbacks and Finish run in subscription
 // order, so a stage that reads another's result must subscribe after it.
@@ -215,8 +229,17 @@ func (e *Engine) run(ctx context.Context, src trace.Source, st *trace.State, fro
 		}
 	}
 	d := &trace.Dispatcher{}
-	for _, s := range e.stages {
-		d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
+	parallel := e.workers > 1
+	if parallel {
+		// One combined subscription: the driver dispatches inline stages
+		// per event and fans Overlappable stages' day work out at each
+		// day boundary, joining before returning — so the barrier hooks
+		// subscribed below still see a quiescent, day-complete state.
+		d.Subscribe(newParallelDriver(e.stages, e.workers).hooks())
+	} else {
+		for _, s := range e.stages {
+			d.Subscribe(trace.Hooks{OnEvent: s.OnEvent, OnDayEnd: s.OnDayEnd})
+		}
 	}
 	// Barrier hooks — the per-snapshot Sync point and the checkpoint
 	// cadence — are dispatched last, so every stage has seen the day
@@ -272,7 +295,15 @@ func (e *Engine) run(ctx context.Context, src trace.Source, st *trace.State, fro
 			}})
 		}
 	}
-	err := trace.ReplaySourceIntoFromContext(ctx, st, src, d.Hooks(), fromDay)
+	runSrc := src
+	if parallel {
+		// Pipelined data plane: decode day-batches ahead of the apply
+		// loop. EventsThrough-style identity probes ran before this point
+		// against the raw source, and the wrapper preserves event order
+		// and error positions exactly (see trace.Prefetch).
+		runSrc = trace.Prefetch(src)
+	}
+	err := trace.ReplaySourceIntoFromContext(ctx, st, runSrc, d.Hooks(), fromDay)
 	if hookErr != nil {
 		return st, hookErr
 	}

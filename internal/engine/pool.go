@@ -26,6 +26,12 @@ func NewPool(workers int) *Pool {
 	return &Pool{sem: make(chan struct{}, workers)}
 }
 
+// Workers returns the pool's concurrency bound — the resolved worker
+// count (NewPool's GOMAXPROCS default included), which the kernel
+// fan-outs (parallel Louvain prepare, sampled-BFS sources) size
+// themselves by.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
 // Go submits one task. It never blocks the caller; the task blocks until a
 // worker slot frees up. Tasks run even after another task has failed (their
 // errors are simply dropped), keeping result-slot writes deterministic.

@@ -1,0 +1,76 @@
+package louvain
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// prepareMinNodesPerWorker keeps the fan-out from shredding small graphs
+// into per-goroutine crumbs: below this many nodes per worker the
+// spawn/join overhead outweighs the build.
+const prepareMinNodesPerWorker = 2048
+
+// PrepareWorkers is Prepare with the level-0 weighted-graph build fanned
+// out across at most `workers` goroutines over contiguous node ranges.
+// The result is bit-identical to Prepare's: each node's adjacency map,
+// self weight, and degree are pure per-node functions of g (disjoint
+// slice sections, no sharing), and the graph total is a sum of integer-
+// valued degrees — exact in float64 regardless of grouping — accumulated
+// per worker and reduced in worker-index order. workers <= 1, or a graph
+// too small to split profitably, falls back to the sequential Prepare.
+//
+// g must be safe for concurrent reads: a graph.Frozen snapshot, or the
+// live graph at a quiescent barrier (graph.Graph documents concurrent
+// reads as safe).
+func PrepareWorkers(g graph.View, workers int) *Prepared {
+	n := g.NumNodes()
+	if workers > n/prepareMinNodesPerWorker {
+		workers = n / prepareMinNodesPerWorker
+	}
+	if workers <= 1 {
+		return Prepare(g)
+	}
+	w := &wgraph{
+		n:    n,
+		adj:  make([]map[int32]float64, n),
+		self: make([]float64, n),
+		deg:  make([]float64, n),
+	}
+	totals := make([]float64, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var t float64
+			for u := lo; u < hi; u++ {
+				ns := g.Neighbors(graph.NodeID(u))
+				if len(ns) == 0 {
+					continue
+				}
+				m := make(map[int32]float64, len(ns))
+				for _, v := range ns {
+					m[v] = 1
+				}
+				w.adj[u] = m
+				w.deg[u] = float64(len(ns))
+				t += float64(len(ns))
+			}
+			totals[k] = t
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	for _, t := range totals {
+		w.total += t
+	}
+	return &Prepared{w: w}
+}

@@ -1,0 +1,59 @@
+package louvain
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bigRandomGraph builds a graph big enough that PrepareWorkers actually
+// splits (prepareMinNodesPerWorker per worker), via the shared
+// randomGraph helper.
+func bigRandomGraph(n, m int, seed int64) *graph.Graph {
+	return randomGraph(n, m, rand.New(rand.NewSource(seed)))
+}
+
+// TestPrepareWorkersBitIdentical holds the fanned-out level-0 build to
+// the sequential Prepare, field by field: adjacency maps, self weights,
+// degrees, and the float total must match exactly, and a full RunPrepared
+// over both views must produce identical assignments and modularity.
+func TestPrepareWorkersBitIdentical(t *testing.T) {
+	g := bigRandomGraph(3*prepareMinNodesPerWorker+17, 6*prepareMinNodesPerWorker, 7)
+	seq := Prepare(g)
+	for _, workers := range []int{2, 3, 8} {
+		par := PrepareWorkers(g, workers)
+		if par.w.n != seq.w.n || par.w.total != seq.w.total {
+			t.Fatalf("workers=%d: n=%d total=%v, want n=%d total=%v", workers, par.w.n, par.w.total, seq.w.n, seq.w.total)
+		}
+		if !reflect.DeepEqual(par.w.deg, seq.w.deg) || !reflect.DeepEqual(par.w.self, seq.w.self) {
+			t.Fatalf("workers=%d: deg/self diverged from Prepare", workers)
+		}
+		if !reflect.DeepEqual(par.w.adj, seq.w.adj) {
+			t.Fatalf("workers=%d: adjacency diverged from Prepare", workers)
+		}
+
+		want, err := RunPrepared(seq, Options{Delta: 0.01, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunPrepared(par, Options{Delta: 0.01, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Modularity != want.Modularity || !reflect.DeepEqual(got.Community, want.Community) {
+			t.Fatalf("workers=%d: RunPrepared diverged", workers)
+		}
+	}
+}
+
+// TestPrepareWorkersSmallGraphFallback: graphs too small to split fall
+// back to the sequential build (still correct, no goroutines needed).
+func TestPrepareWorkersSmallGraphFallback(t *testing.T) {
+	g := bigRandomGraph(64, 128, 5)
+	seq, par := Prepare(g), PrepareWorkers(g, 8)
+	if !reflect.DeepEqual(par.w, seq.w) {
+		t.Fatal("small-graph PrepareWorkers diverged from Prepare")
+	}
+}

@@ -10,6 +10,7 @@ package metrics
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -169,7 +170,26 @@ func SampledPathLength(g *graph.Graph, k int, rng *rand.Rand) (float64, error) {
 // PathSampler is SampledPathLength with reusable BFS scratch buffers, for
 // callers (the streaming metrics stage) that measure many snapshots: the
 // per-source distance and queue slices are allocated once and reused.
+//
+// With Workers > 1 the BFS sources fan out across that many goroutines,
+// each with private scratch. The estimate is bit-identical to the
+// sequential one: source selection happens before the fan-out (the rng
+// draw sequence is unchanged), sources are split into contiguous chunks,
+// and each chunk's distance sum and pair count — integer-valued, far
+// below 2^53 — are reduced in chunk order, so no float rounding can
+// depend on scheduling.
 type PathSampler struct {
+	// Workers is the fan-out width for the per-source BFS sweep; <= 1
+	// runs sequentially.
+	Workers int
+
+	dist    []int32
+	queue   []graph.NodeID
+	scratch []pathScratch
+}
+
+// pathScratch is one worker's private BFS buffers.
+type pathScratch struct {
 	dist  []int32
 	queue []graph.NodeID
 }
@@ -189,21 +209,75 @@ func (p *PathSampler) Sample(g *graph.Graph, k int, rng *rand.Rand) (float64, er
 			sources = append(sources, comp[i])
 		}
 	}
-	var total float64
-	var count int64
-	for _, s := range sources {
-		p.dist, p.queue = g.BFSInto(s, p.dist, p.queue)
-		for v, d := range p.dist {
-			if d > 0 && graph.NodeID(v) != s {
-				total += float64(d)
-				count++
-			}
-		}
-	}
+	total, count := p.sweep(g, sources)
 	if count == 0 {
 		return 0, ErrNoSample
 	}
 	return total / float64(count), nil
+}
+
+// sweep runs BFS from every source and accumulates the distance total and
+// reachable-pair count, sequentially or fanned out per Workers.
+func (p *PathSampler) sweep(g *graph.Graph, sources []graph.NodeID) (float64, int64) {
+	workers := p.Workers
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		var total float64
+		var count int64
+		for _, s := range sources {
+			p.dist, p.queue = g.BFSInto(s, p.dist, p.queue)
+			for v, d := range p.dist {
+				if d > 0 && graph.NodeID(v) != s {
+					total += float64(d)
+					count++
+				}
+			}
+		}
+		return total, count
+	}
+	if len(p.scratch) < workers {
+		p.scratch = append(p.scratch, make([]pathScratch, workers-len(p.scratch))...)
+	}
+	totals := make([]float64, workers)
+	counts := make([]int64, workers)
+	chunk := (len(sources) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			sc := &p.scratch[i]
+			var total float64
+			var count int64
+			for _, s := range sources[lo:hi] {
+				sc.dist, sc.queue = g.BFSInto(s, sc.dist, sc.queue)
+				for v, d := range sc.dist {
+					if d > 0 && graph.NodeID(v) != s {
+						total += float64(d)
+						count++
+					}
+				}
+			}
+			totals[i], counts[i] = total, count
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	var count int64
+	for i := 0; i < workers; i++ {
+		total += totals[i]
+		count += counts[i]
+	}
+	return total, count
 }
 
 // DegreeHistogram returns counts of nodes by degree.

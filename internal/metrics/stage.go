@@ -35,6 +35,11 @@ type StageOptions struct {
 	ClusteringSamples int
 	// Seed drives the sampled estimators.
 	Seed int64
+	// Workers is the fan-out width of the sampled-BFS path-length sweep
+	// (<= 1 sequential). A throughput knob only: the estimate is
+	// bit-identical at any width (see PathSampler), so it is deliberately
+	// not part of the checkpoint config fingerprint.
+	Workers int
 }
 
 // Stage computes the Fig 1 growth and snapshot-metric series from a single
@@ -71,11 +76,17 @@ func NewStage(opt StageOptions) *Stage {
 		opt.ClusteringSamples = 1000
 	}
 	src := stats.NewSource(opt.Seed)
-	return &Stage{opt: opt, src: src, rng: rand.New(src)}
+	return &Stage{opt: opt, src: src, rng: rand.New(src), paths: PathSampler{Workers: opt.Workers}}
 }
 
 // StageName is the stage's planner registry name.
 const StageName = "metrics"
+
+// OverlapSafe marks the stage for the engine's parallel driver: OnEvent
+// only tallies arrival counts in private fields (it never reads the
+// shared state), and OnDayEnd reads the quiescent graph read-only for
+// the day's snapshot.
+func (s *Stage) OverlapSafe() {}
 
 // Name implements engine.Stage.
 func (s *Stage) Name() string { return StageName }
