@@ -1,0 +1,16 @@
+# Build the figure-serving daemon. The module is pure stdlib Go, so the
+# runtime stage is a scratch image holding one static binary.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/rrserved ./cmd/rrserved
+
+FROM scratch
+COPY --from=build /out/rrserved /rrserved
+# /data is where the trace file and the checkpoint directory live; mount
+# it from the host (see docker-compose.yml).
+VOLUME /data
+EXPOSE 8080
+ENTRYPOINT ["/rrserved"]
+CMD ["-trace", "/data/renren.trace", "-checkpoint-dir", "/data/ckpt", "-addr", ":8080"]

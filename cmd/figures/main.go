@@ -48,10 +48,16 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel shared pass and all fan-out work (results are bit-identical at any count)")
+	format := flag.String("format", "tsv", "output format for figure tables: tsv or json")
 	encode := flag.String("encode", "", "stream the generated trace to this file and exit (no analysis)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the pipeline run to this file")
 	flag.Parse()
+
+	outFormat, err := core.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		// The id -> stage mapping comes from the planner registry, so a
@@ -250,7 +256,7 @@ func main() {
 			log.Printf("%s: %v", id, err)
 			continue
 		}
-		if err := tab.WriteTSV(os.Stdout); err != nil {
+		if err := tab.Write(os.Stdout, outFormat); err != nil {
 			log.Fatalf("write: %v", err)
 		}
 		fmt.Println()

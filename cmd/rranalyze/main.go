@@ -31,7 +31,8 @@ func main() {
 	log.SetPrefix("rranalyze: ")
 
 	tracePath := flag.String("trace", "", "input trace file (required)")
-	outDir := flag.String("out", "figures", "output directory for per-figure TSVs")
+	outDir := flag.String("out", "figures", "output directory for per-figure tables")
+	format := flag.String("format", "tsv", "output format for figure tables: tsv or json (sets the file extension)")
 	only := flag.String("only", "", "comma-separated figure ids; plans and runs exactly the stages they need")
 	deltas := flag.String("deltas", "", "comma-separated Louvain δ values for the Fig 4 sweep, e.g. 0.01,0.04,0.16")
 	sweep := flag.String("sweep", "", "deprecated alias for -deltas (mutually exclusive with it)")
@@ -49,6 +50,10 @@ func main() {
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	outFormat, err := core.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
 	// The trace is never loaded: every analysis pass streams it off disk
 	// through a FileSource cursor, so memory stays O(state).
@@ -163,12 +168,12 @@ func main() {
 			log.Printf("skipping %s: %v", id, err)
 			continue
 		}
-		path := filepath.Join(*outDir, id+".tsv")
+		path := filepath.Join(*outDir, id+outFormat.Ext())
 		out, err := os.Create(path)
 		if err != nil {
 			log.Fatalf("create %s: %v", path, err)
 		}
-		if err := tab.WriteTSV(out); err != nil {
+		if err := tab.Write(out, outFormat); err != nil {
 			log.Fatalf("write %s: %v", path, err)
 		}
 		out.Close()

@@ -1,0 +1,169 @@
+// Command rrserved is the long-lived figure-serving daemon: it loads a
+// trace's warm analysis state once (resuming the newest compatible
+// checkpoint when -checkpoint-dir is set), then serves every figure panel
+// of the paper over HTTP as TSV or JSON — repeat fetches are O(cache
+// lookup), not O(replay).
+//
+// Usage:
+//
+//	rrserved -trace renren.trace -checkpoint-dir ckpts -addr :8080
+//	curl localhost:8080/figures/fig1a
+//	curl "localhost:8080/figures/fig4a?delta=0.01,0.04&format=json"
+//	curl localhost:8080/statz
+//	curl -X POST localhost:8080/refresh   # after the trace gained days
+//
+// See DESIGN.md §8 for the serving architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (required)")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpointed state plane: resume the warm pass from here and write new checkpoints as it advances")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
+	deltas := flag.String("deltas", "0.0001,0.01,0.04,0.1,0.3", "warm Louvain δ grid for the fig4 panels; requests with other δ-sets run cold plans")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for plan execution")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache cap in MiB")
+	refreshEvery := flag.Duration("refresh-every", 0, "poll the trace file at this interval and republish when it gained days (0 = only explicit POST /refresh)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
+	distDays := flag.String("dist-days", "", "comma-separated size-distribution days (default: three late snapshot days of the trace at startup, pinned so refreshes keep resuming)")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, or error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "err", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		log.Error("-workers must be >= 1", "got", *workers)
+		os.Exit(2)
+	}
+
+	// The warm configuration. SizeDistDays is pinned from the trace's
+	// length at startup (not re-derived on refresh): the days are part of
+	// the config fingerprint, and shifting them with every appended day
+	// would invalidate the checkpoints the incremental refresh resumes
+	// from — exactly the trap rranalyze's -dist-days docs warn about.
+	src, err := trace.OpenFileSource(*tracePath)
+	if err != nil {
+		log.Error("open trace", "err", err)
+		os.Exit(1)
+	}
+	meta := src.Meta()
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.CheckpointEvery = int32(*checkpointEvery)
+	if *snapshotEvery > 0 {
+		cfg.Community.SnapshotEvery = int32(*snapshotEvery)
+	}
+	vs, err := core.ParseDeltaSweep(*deltas)
+	if err != nil {
+		log.Error("bad -deltas", "err", err)
+		os.Exit(2)
+	}
+	cfg.DeltaSweep = vs
+	cfg.Community.SizeDistDays = parseDistDays(log, *distDays, meta.Days, cfg.Community.StartDay, cfg.Community.SnapshotEvery)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("loading warm state",
+		"trace", *tracePath, "days", meta.Days, "nodes", meta.Nodes, "edges", meta.Edges,
+		"checkpoint_dir", *checkpointDir)
+	srv, err := serve.NewServer(ctx, serve.Options{
+		TracePath:     *tracePath,
+		CheckpointDir: *checkpointDir,
+		Config:        cfg,
+		CacheBytes:    *cacheMB << 20,
+		Log:           log,
+	})
+	if err != nil {
+		log.Error("load", "err", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	if *refreshEvery > 0 {
+		go func() {
+			t := time.NewTicker(*refreshEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, _, err := srv.Refresh(ctx); err != nil && ctx.Err() == nil {
+						log.Error("periodic refresh", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+	log.Info("serving", "addr", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}
+
+// parseDistDays parses -dist-days, defaulting to three evenly spaced days
+// in the trace's second half snapped onto the snapshot grid — the same
+// derivation rranalyze uses.
+func parseDistDays(log *slog.Logger, s string, days, startDay, every int32) []int32 {
+	if s != "" {
+		var out []int32
+		for _, d := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(d))
+			if err != nil {
+				log.Error("bad -dist-days", "value", d, "err", err)
+				os.Exit(2)
+			}
+			out = append(out, int32(v))
+		}
+		return out
+	}
+	if days <= 0 {
+		return nil
+	}
+	snap := func(d int32) int32 {
+		if d < startDay {
+			return startDay
+		}
+		return d - (d-startDay)%every
+	}
+	return []int32{snap(days / 2), snap(days * 3 / 4), snap(days - 1)}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,6 +105,19 @@ func configFingerprint(cfg Config, meta trace.Meta, stages []string) uint64 {
 	return h.Sum64()
 }
 
+// Fingerprint hashes cfg and the trace identity under the plan's stage
+// set — the same stage-set-gated derivation the checkpoint plane uses
+// (configFingerprint), exposed so the serving layer can build cache keys:
+// two requests share a fingerprint exactly when their runs would
+// accumulate identical state, so (fingerprint, trace day, figure id) is a
+// sound cache identity. It hashes the plan's declared stage list
+// (pre-gating), which can differ from a checkpoint header's subscribed
+// set (e.g. the merge stage on a merge-free trace) — it identifies cache
+// entries, not checkpoint files.
+func (p *FigurePlan) Fingerprint(cfg Config, meta trace.Meta) uint64 {
+	return configFingerprint(cfg.withDefaults(), meta, p.Stages())
+}
+
 // stageNames lists the subscribed stages in subscription order.
 func stageNames(stages []engine.Stage) []string {
 	out := make([]string, len(stages))
@@ -189,14 +204,17 @@ type ckptCandidate struct {
 // checkpoint day <= maxDay whose header carries this run's exact stage
 // set and config fingerprint — newest first. The caller restores the
 // first that loads cleanly; unreadable candidates are skipped, never
-// fatal.
-func (x *planExec) findCheckpoints(maxDay int32) []ckptCandidate {
+// fatal. stale reports that a listed file vanished between the directory
+// scan and the header probe — the signature of a concurrent writer
+// rotating the directory (atomic rename over an existing name, or
+// retention deleting old days) — so the caller knows a rescan may see a
+// newer file than any candidate returned here.
+func (x *planExec) findCheckpoints(maxDay int32) (cands []ckptCandidate, stale bool) {
 	dir := x.rt.cfg.CheckpointDir
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil
+		return nil, false
 	}
-	var cands []ckptCandidate
 	for _, ent := range entries {
 		if ent.IsDir() {
 			continue
@@ -208,31 +226,87 @@ func (x *planExec) findCheckpoints(maxDay int32) []ckptCandidate {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].day > cands[j].day })
 	out := cands[:0]
 	for _, c := range cands {
-		if x.headerMatches(c.path) {
+		ok, notExist := x.headerMatches(c.path)
+		if notExist {
+			stale = true
+		}
+		if ok {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, stale
 }
 
 // headerMatches reports whether the checkpoint at path was written by a
-// run with this run's stage set and fingerprint.
-func (x *planExec) headerMatches(path string) bool {
+// run with this run's stage set and fingerprint; notExist distinguishes a
+// file that vanished mid-scan from one that exists but doesn't match.
+func (x *planExec) headerMatches(path string) (ok, notExist bool) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false
+		return false, errors.Is(err, fs.ErrNotExist)
 	}
 	defer f.Close()
 	h, err := checkpoint.ReadHeader(f)
 	if err != nil || h.ConfigHash != x.ckptHash || len(h.Stages) != len(x.ckptNames) {
-		return false
+		return false, false
 	}
 	for i, s := range h.Stages {
 		if s != x.ckptNames[i] {
-			return false
+			return false, false
 		}
 	}
-	return true
+	return true, false
+}
+
+// ckptScanRetries bounds how many times a resume rescans a checkpoint
+// directory that changed under it before settling for what it can read.
+const ckptScanRetries = 3
+
+// testCkptAfterScan, when non-nil, runs after each candidate scan and
+// before any restore attempt — the regression tests' window for mutating
+// the directory the way a concurrent writer would.
+var testCkptAfterScan func(attempt int)
+
+// resolveResume finds and restores the newest compatible checkpoint into
+// a plan instantiation, returning the instantiation to run (with
+// resumeState set on success, clean for a day-0 replay otherwise).
+//
+// The single-process assumption of the original resolution does not hold
+// for a serving daemon: a refresh pass may atomically rename a new
+// checkpoint over an existing day file, or retention may delete old days,
+// between this run's directory scan and its open. An ENOENT there does
+// not mean "no checkpoint" — it means the scan is stale, and settling for
+// an older candidate (or day 0) would silently discard the incremental
+// win. Instead the resolution rescans, bounded by ckptScanRetries; every
+// other load failure keeps the original semantics (skip to the next older
+// candidate, fall back to day 0). Each failed restore may leave stages
+// half-loaded, so the instantiation is rebuilt before the next attempt.
+func resolveResume(plan *FigurePlan, x *planExec, src trace.Source, meta trace.Meta, cfg Config) *planExec {
+	for attempt := 0; ; attempt++ {
+		cands, stale := x.findCheckpoints(meta.Days - 1)
+		if testCkptAfterScan != nil {
+			testCkptAfterScan(attempt)
+		}
+		rescan := false
+		for _, cand := range cands {
+			st, day, err := x.loadCheckpoint(src, cand.path)
+			if err == nil {
+				x.resumeState, x.resumeDay = st, day
+				return x
+			}
+			x = plan.instantiate(cfg, meta)
+			if errors.Is(err, fs.ErrNotExist) {
+				// The candidate vanished after the scan: prefer a fresh
+				// scan (which may surface a newer replacement) over
+				// quietly resuming from an older day.
+				rescan = true
+				break
+			}
+		}
+		if (!rescan && !stale) || attempt >= ckptScanRetries {
+			return x
+		}
+	}
 }
 
 // loadCheckpoint reads the checkpoint at path, cross-checks it against

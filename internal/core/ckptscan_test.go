@@ -1,0 +1,105 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestResumeToleratesConcurrentRotation pins the concurrent-caller
+// contract of checkpoint resolution: when a checkpoint file vanishes
+// between the directory scan and the restore — retention deleting an old
+// day while a writer renames a newer one into place — the resolution
+// rescans and resumes from the newly visible checkpoint instead of
+// silently falling back to day 0.
+func TestResumeToleratesConcurrentRotation(t *testing.T) {
+	tr, err := gen.Generate(gen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := encodeTrace(t, tr, filepath.Join(t.TempDir(), "rotate.trace"))
+	all := t.TempDir()
+	cfg := resumeTestConfig(all)
+
+	// From-zero run writes the checkpoint inventory (days 90/180/270/299
+	// at the small preset) and is the bit-identical reference.
+	base, err := RunFigures(nil, src, cfg, "fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := checkpointDays(t, all)
+	if len(days) < 3 {
+		t.Fatalf("only %d checkpoints written: %v", len(days), days)
+	}
+	copyCkpt := func(dir string, day int32) {
+		raw, err := os.ReadFile(filepath.Join(all, checkpointFileName(day)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, checkpointFileName(day)), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("rescan finds the rotated-in newer checkpoint", func(t *testing.T) {
+		old, newer := days[0], days[len(days)-1]
+		dir := t.TempDir()
+		copyCkpt(dir, old)
+		// Between the scan and the restore, "another process" finishes a
+		// newer checkpoint and retention deletes the old day: the
+		// scanned candidate now ENOENTs, and only a rescan can see the
+		// replacement.
+		calls := 0
+		testCkptAfterScan = func(attempt int) {
+			if attempt != 0 {
+				return
+			}
+			calls++
+			if err := os.Remove(filepath.Join(dir, checkpointFileName(old))); err != nil {
+				t.Fatal(err)
+			}
+			copyCkpt(dir, newer)
+		}
+		defer func() { testCkptAfterScan = nil }()
+
+		rcfg := cfg
+		rcfg.CheckpointDir = dir
+		rcfg.Resume = true
+		res, err := RunFigures(nil, src, rcfg, "fig1a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Fatal("rotation hook never ran")
+		}
+		if res.ResumedFromDay != newer {
+			t.Fatalf("ResumedFromDay = %d, want %d (the rotated-in checkpoint)", res.ResumedFromDay, newer)
+		}
+		compareRuns(t, "rotated", base, res)
+	})
+
+	t.Run("vanished checkpoint with no replacement falls back to day 0", func(t *testing.T) {
+		dir := t.TempDir()
+		copyCkpt(dir, days[0])
+		testCkptAfterScan = func(int) {
+			// Delete whatever the scan saw, every attempt: the bounded
+			// rescan must terminate and fall back to a clean day-0 run.
+			os.Remove(filepath.Join(dir, checkpointFileName(days[0])))
+		}
+		defer func() { testCkptAfterScan = nil }()
+
+		rcfg := cfg
+		rcfg.CheckpointDir = dir
+		rcfg.Resume = true
+		res, err := RunFigures(nil, src, rcfg, "fig1a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResumedFromDay != -1 {
+			t.Fatalf("ResumedFromDay = %d, want -1 (day-0 fallback)", res.ResumedFromDay)
+		}
+		compareRuns(t, "vanished", base, res)
+	})
+}

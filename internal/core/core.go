@@ -192,9 +192,12 @@ type Result struct {
 	ResumedFromDay int32
 
 	// tables is the keyed figure store: panels pre-emitted by a
-	// demand-driven run (RunPlan/RunFigures), served by Figure without
-	// re-emitting.
-	tables map[string]*Table
+	// demand-driven run (RunPlan/RunFigures) or by Seal, served by Figure
+	// without re-emitting. tableErrs is its error side, filled by Seal so
+	// a sealed Result never runs an emitter (see Seal's concurrency
+	// contract).
+	tables    map[string]*Table
+	tableErrs map[string]error
 }
 
 // ErrEmptyTrace is returned for traces with no events.

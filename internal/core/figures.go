@@ -51,6 +51,10 @@ func svmOptions(seed int64) svm.Options {
 // outside AllFigures), and panels pre-emitted by a demand-driven run are
 // served from the keyed store without re-emitting. Emitters report
 // ErrStageSkipped when their stage did not run or produced nothing.
+//
+// On a sealed Result (see Seal) every lookup — tables and skip errors
+// alike — is a read of the pre-emitted store, so any number of goroutines
+// may call Figure concurrently.
 func (r *Result) Figure(id string) (*Table, error) {
 	e, ok := figureRegistry[id]
 	if !ok {
@@ -59,7 +63,52 @@ func (r *Result) Figure(id string) (*Table, error) {
 	if tab, ok := r.tables[id]; ok {
 		return tab, nil
 	}
+	if err, ok := r.tableErrs[id]; ok {
+		return nil, err
+	}
 	return e.emit(r)
+}
+
+// Seal pre-emits every panel into the keyed store — tables for panels the
+// run's stages produced, the emit error (typically ErrStageSkipped) for
+// the rest — and marks the Result immutable. After Seal, Figure never
+// runs an emitter: it is a pure lookup in maps that are no longer
+// written, so a sealed Result is safe for unsynchronized concurrent
+// readers. This is the serving plane's snapshot contract (DESIGN.md §8):
+// rrserved seals a Result before publishing it, and a refresh pass builds
+// an entirely new Result rather than touching a published one.
+//
+// Seal itself must not race with other access: call it from the goroutine
+// that built the Result, before sharing it.
+func (r *Result) Seal() {
+	for _, id := range AllFigures {
+		if _, ok := r.tables[id]; ok {
+			continue
+		}
+		tab, err := figureRegistry[id].emit(r)
+		if err != nil {
+			if r.tableErrs == nil {
+				r.tableErrs = make(map[string]error)
+			}
+			r.tableErrs[id] = err
+		} else {
+			r.putTable(id, tab)
+		}
+	}
+}
+
+// Figures returns the panel ids the result can serve — those whose table
+// is in the keyed store — in paper order. Before Seal only a demand-driven
+// run's requested panels are stored; after Seal the list is exactly the
+// panels the run's stages produced.
+func (r *Result) Figures() []string {
+	out := make([]string, 0, len(r.tables))
+	for _, id := range AllFigures {
+		if _, ok := r.tables[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // putTable stores one emitted panel in the keyed store.

@@ -313,6 +313,16 @@ func Registry() []StageSpec {
 	return out
 }
 
+// FigureUsesDeltaSweep reports whether the panel is produced by the
+// δ-sweep stage — i.e. whether a δ-set parameter changes its content.
+// The serving layer routes figure requests with a custom δ-set through a
+// cold plan execution only when this is true; for every other panel δ is
+// inert and the warm snapshot serves the request.
+func FigureUsesDeltaSweep(id string) bool {
+	e, ok := figureRegistry[id]
+	return ok && e.stage.Name == community.SweepStageName
+}
+
 // StageFor returns the name of the stage that produces the figure id, or
 // ErrUnknownFigure.
 func StageFor(id string) (string, error) {
@@ -599,17 +609,9 @@ func runPlan(ctx context.Context, src trace.Source, meta trace.Meta, cfg Config,
 	}
 	x := plan.instantiate(cfg, meta)
 	if cfg.Resume && cfg.CheckpointDir != "" && x.eng.Stages() > 0 {
-		for _, cand := range x.findCheckpoints(meta.Days - 1) {
-			st, day, err := x.loadCheckpoint(src, cand.path)
-			if err == nil {
-				x.resumeState, x.resumeDay = st, day
-				break
-			}
-			// LoadState may have half-restored some stages; a fresh
-			// instantiation guarantees the next attempt (or the day-0
-			// fallback) starts clean.
-			x = plan.instantiate(cfg, meta)
-		}
+		// Restore the newest compatible checkpoint; tolerant of another
+		// process rotating the directory mid-scan (see resolveResume).
+		x = resolveResume(plan, x, src, meta, cfg)
 	}
 	return x.run(ctx, src)
 }

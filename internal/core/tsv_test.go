@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"", FormatTSV, true},
+		{"tsv", FormatTSV, true},
+		{"JSON", FormatJSON, true},
+		{" json ", FormatJSON, true},
+		{"xml", "", false},
+	} {
+		got, err := ParseFormat(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseFormat(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	// The extension is what rranalyze joins onto the figure id.
+	if FormatTSV.Ext() != ".tsv" || FormatJSON.Ext() != ".json" {
+		t.Errorf("Ext() = %q / %q, want dot-prefixed", FormatTSV.Ext(), FormatJSON.Ext())
+	}
+}
+
+// TestWriteJSON pins the JSON encoding: deterministic bytes, TSV content
+// parity (same columns and row count), and non-finite cells as null —
+// encoding/json rejects NaN, and null keeps the cell addressable.
+func TestWriteJSON(t *testing.T) {
+	tab := &Table{
+		Figure:  "figX",
+		Title:   "test table",
+		Columns: []string{"day", "value"},
+		Rows:    [][]float64{{1, 0.5}, {2, math.NaN()}, {3, math.Inf(1)}},
+		Notes:   map[string]float64{"alpha": 0.7, "bad": math.NaN()},
+	}
+	var a, b bytes.Buffer
+	if err := tab.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+	var dec struct {
+		Figure  string              `json:"figure"`
+		Columns []string            `json:"columns"`
+		Rows    [][]*float64        `json:"rows"`
+		Notes   map[string]*float64 `json:"notes"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &dec); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if dec.Figure != "figX" || len(dec.Columns) != 2 || len(dec.Rows) != 3 {
+		t.Fatalf("decoded shape = %+v", dec)
+	}
+	if dec.Rows[1][1] != nil || dec.Rows[2][1] != nil {
+		t.Error("non-finite cells must encode as null")
+	}
+	if v := dec.Rows[0][1]; v == nil || *v != 0.5 {
+		t.Error("finite cell lost")
+	}
+	if v, ok := dec.Notes["bad"]; !ok || v != nil {
+		t.Error("non-finite note must stay present as null")
+	}
+	if v := dec.Notes["alpha"]; v == nil || *v != 0.7 {
+		t.Error("finite note lost")
+	}
+}

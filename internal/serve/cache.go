@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the daemon's plan-result cache: encoded figure panels keyed by
+// (config fingerprint, trace day, figure id, δ-set, format) — the key is
+// built by cacheKey — bounded by a byte cap with LRU eviction. Lookups
+// are coalesced single-flight: when N requests miss on the same key
+// concurrently, one computes and N-1 wait for its bytes, so a burst of
+// identical uncached panel fetches costs exactly one plan execution.
+//
+// Values are immutable by contract: callers hand the cache the encoded
+// bytes once and only ever read them afterwards, so hits can return the
+// stored slice without copying.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	ll      *list.List               // front = most recently used
+	items   map[string]*list.Element // value type: *cacheEntry
+	flights map[string]*flight
+
+	hits, misses, coalesced, evictions, dropped int64
+}
+
+// cacheEntry is one cached encoding with the trace day it was computed
+// at, kept so DropOtherDays can invalidate a superseded generation.
+type cacheEntry struct {
+	key string
+	val []byte
+	day int32
+}
+
+// flight is one in-progress computation other requests for the same key
+// wait on.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// NewCache returns a cache bounded to capBytes of stored values
+// (capBytes <= 0 disables storage; single-flight coalescing still works).
+func NewCache(capBytes int64) *Cache {
+	return &Cache{
+		cap:     capBytes,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, served by
+// /statz.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	CapBytes  int64 `json:"cap_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		CapBytes:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Dropped:   c.dropped,
+	}
+}
+
+// GetOrCompute returns the cached bytes for key, or runs compute exactly
+// once per concurrent burst of callers and caches its result. hit
+// reports whether the bytes came from the store (true) rather than a
+// computation this call ran or waited on (false). compute errors are
+// returned to every waiter of the flight and never cached, so a
+// transient failure doesn't poison the key.
+func (c *Cache) GetOrCompute(key string, day int32, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val = el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.insert(key, day, f.val)
+	}
+	c.mu.Unlock()
+	return f.val, false, f.err
+}
+
+// insert stores one value and evicts least-recently-used entries past the
+// byte cap. Values larger than the whole cap are not stored at all —
+// admitting one would evict everything for a value that can never be
+// kept. Callers hold c.mu.
+func (c *Cache) insert(key string, day int32, val []byte) {
+	size := int64(len(val))
+	if size > c.cap {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A racing flight already stored this key; keep the fresher value.
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - int64(len(ent.val))
+		ent.val, ent.day = val, day
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, day: day})
+		c.bytes += size
+	}
+	for c.bytes > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+		c.evictions++
+	}
+}
+
+// remove unlinks one entry. Callers hold c.mu.
+func (c *Cache) remove(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= int64(len(ent.val))
+}
+
+// DropOtherDays invalidates every entry computed at a trace day other
+// than day. Keys already embed the day, so entries of a superseded
+// generation can never be served again — this reclaims their bytes
+// eagerly at publish time instead of waiting for LRU pressure.
+func (c *Cache) DropOtherDays(day int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheEntry).day != day {
+			c.remove(el)
+			c.dropped++
+		}
+	}
+}

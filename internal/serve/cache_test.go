@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// put inserts one precomputed value through the public path.
+func put(t *testing.T, c *Cache, key string, day int32, val []byte) {
+	t.Helper()
+	_, hit, err := c.GetOrCompute(key, day, func() ([]byte, error) { return val, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatalf("put %q: already cached", key)
+	}
+}
+
+func TestCacheEvictsAtByteCap(t *testing.T) {
+	c := NewCache(100)
+	for i := 0; i < 5; i++ {
+		put(t, c, fmt.Sprintf("k%d", i), 0, make([]byte, 40))
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("cache holds %d bytes, cap is 100", st.Bytes)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (two 40-byte values fit under 100)", st.Entries)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	// LRU order: the two most recently inserted keys survive.
+	for i, wantHit := range []bool{false, false, false, true, true} {
+		_, hit, err := c.GetOrCompute(fmt.Sprintf("k%d", i), 0, func() ([]byte, error) { return make([]byte, 1), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != wantHit {
+			t.Errorf("k%d: hit = %v, want %v", i, hit, wantHit)
+		}
+	}
+}
+
+func TestCacheLRUOrderFollowsUse(t *testing.T) {
+	c := NewCache(100)
+	put(t, c, "a", 0, make([]byte, 40))
+	put(t, c, "b", 0, make([]byte, 40))
+	// Touch "a" so "b" is the least recently used, then overflow.
+	if _, hit, _ := c.GetOrCompute("a", 0, nil); !hit {
+		t.Fatal("a should be cached")
+	}
+	put(t, c, "c", 0, make([]byte, 40))
+	if _, hit, _ := c.GetOrCompute("a", 0, func() ([]byte, error) { return nil, errors.New("recompute") }); !hit {
+		t.Error("a was evicted; want b (the LRU entry) evicted instead")
+	}
+	if _, _, err := c.GetOrCompute("b", 0, func() ([]byte, error) { return nil, errors.New("gone") }); err == nil {
+		t.Error("b still cached; want it evicted")
+	}
+}
+
+func TestCacheRejectsOversizeValue(t *testing.T) {
+	c := NewCache(10)
+	put(t, c, "big", 0, make([]byte, 11))
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize value was stored: %+v", st)
+	}
+}
+
+// TestCacheSingleFlight pins the coalescing contract: 100 concurrent
+// requests for the same uncached key run the compute function exactly
+// once, and every caller gets its bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(1 << 20)
+	const callers = 100
+	var computes atomic.Int64
+	release := make(chan struct{})
+	want := []byte("panel-bytes")
+
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, _, err := c.GetOrCompute("fig4a", 0, func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold the flight open until all callers have arrived
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = val
+		}(i)
+	}
+	// Wait until the stragglers are either coalesced onto the flight or
+	// done; the leader blocks on release, so coalesced+1 == callers means
+	// everyone is accounted for.
+	for {
+		st := c.Stats()
+		if st.Coalesced+st.Misses == callers {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent callers, want exactly 1", n, callers)
+	}
+	for i, val := range results {
+		if !bytes.Equal(val, want) {
+			t.Fatalf("caller %d got %q, want %q", i, val, want)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != callers-1 {
+		t.Fatalf("misses = %d, coalesced = %d; want 1 and %d", st.Misses, st.Coalesced, callers-1)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := NewCache(1 << 10)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", 0, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	val, hit, err := c.GetOrCompute("k", 0, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(val) != "ok" {
+		t.Fatalf("after failed compute: val=%q hit=%v err=%v; want fresh successful compute", val, hit, err)
+	}
+	if _, hit, _ := c.GetOrCompute("k", 0, nil); !hit {
+		t.Fatal("successful value was not cached")
+	}
+}
+
+// TestCacheDropOtherDays pins invalidation-on-advance: publishing a new
+// trace day drops every entry of older generations.
+func TestCacheDropOtherDays(t *testing.T) {
+	c := NewCache(1 << 10)
+	put(t, c, "fp|219|fig1a|-|tsv", 219, []byte("old"))
+	put(t, c, "fp|219|fig2a|-|tsv", 219, []byte("old"))
+	put(t, c, "fp|299|fig1a|-|tsv", 299, []byte("new"))
+	c.DropOtherDays(299)
+	st := c.Stats()
+	if st.Entries != 1 || st.Dropped != 2 {
+		t.Fatalf("entries = %d, dropped = %d; want 1 and 2", st.Entries, st.Dropped)
+	}
+	if _, hit, _ := c.GetOrCompute("fp|299|fig1a|-|tsv", 299, nil); !hit {
+		t.Fatal("current-day entry was dropped")
+	}
+	if _, _, err := c.GetOrCompute("fp|219|fig1a|-|tsv", 219, func() ([]byte, error) { return nil, errors.New("gone") }); err == nil {
+		t.Fatal("stale-day entry survived DropOtherDays")
+	}
+}
