@@ -8,6 +8,14 @@
 //	rrgen -preset default -days 801 -out extended.trace  # same seed: 771-day prefix unchanged
 //	rrgen -preset default -merge-day 300 -out early.trace
 //	rrgen -preset large -out big.trace -check   # validate off disk after writing
+//	rrgen -preset default -days 801 -append -out renren.trace  # extend in place: days 771..800 appended
+//
+// -append extends an existing trace file in place instead of rewriting
+// it: the prefix days are verified against a re-simulation (any config
+// drift aborts before a byte is written) and only the new days' events
+// are encoded, flushed at each day barrier so a concurrent
+// `rrserved -follow` picks the days up as they seal. The extended file
+// is byte-identical to a from-scratch generation at the longer horizon.
 package main
 
 import (
@@ -30,6 +38,7 @@ func main() {
 	noMerge := flag.Bool("no-merge", false, "disable the 5Q network merge event")
 	mergeDay := flag.Int("merge-day", 0, "override the 5Q merge day on the chosen preset (0 = preset value; must be < -days and needs a preset with a merge)")
 	out := flag.String("out", "renren.trace", "output file")
+	appendMode := flag.Bool("append", false, "extend the existing -out file in place to the longer -days horizon (same seed and knobs; only the new days are simulated onto disk)")
 	check := flag.Bool("check", false, "stream-validate the written trace's structural invariants (one extra pass off disk)")
 	flag.Parse()
 
@@ -73,13 +82,25 @@ func main() {
 
 	// Stream the simulation straight into the trace file: the event
 	// slice is never materialized, so the large preset's ~10^7 events
-	// cost generator-state memory and one file.
-	m, err := gen.GenerateToFile(cfg, *out)
+	// cost generator-state memory and one file. -append reuses the
+	// existing file's bytes as the simulated prefix.
+	var m trace.Meta
+	var err error
+	verb := "wrote"
+	if *appendMode {
+		if *days <= 0 {
+			log.Fatal("-append needs -days set past the existing file's horizon")
+		}
+		m, err = gen.AppendToFile(cfg, *out)
+		verb = "extended"
+	} else {
+		m, err = gen.GenerateToFile(cfg, *out)
+	}
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	fmt.Printf("wrote %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
-		*out, m.Days, m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, m.MergeDay)
+	fmt.Printf("%s %s: %d days, %d nodes (%d xiaonei / %d 5q / %d new), %d edges, merge day %d\n",
+		verb, *out, m.Days, m.Nodes, m.Xiaonei, m.FiveQ, m.NewUsers, m.Edges, m.MergeDay)
 
 	if *check {
 		// Validation replays the file through a cursor, so even the large

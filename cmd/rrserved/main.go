@@ -12,7 +12,16 @@
 //	curl localhost:8080/statz
 //	curl -X POST localhost:8080/refresh   # after the trace gained days
 //
-// See DESIGN.md §8 for the serving architecture.
+// With -follow the daemon tail-follows a trace a writer is still
+// appending to (e.g. `rrgen -append` in another process): every newly
+// sealed day is detected by a cheap tail probe, applied through the
+// incremental checkpoint resume, and republished — served figures stay
+// continuously fresh, and /statz reports the ingest lag:
+//
+//	rrserved -trace renren.trace -checkpoint-dir ckpts -follow -poll 2s
+//
+// See DESIGN.md §8 for the serving architecture and §9 for the live
+// ingest plane.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -42,7 +52,9 @@ func main() {
 	deltas := flag.String("deltas", "0.0001,0.01,0.04,0.1,0.3", "warm Louvain δ grid for the fig4 panels; requests with other δ-sets run cold plans")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for plan execution")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache cap in MiB")
-	refreshEvery := flag.Duration("refresh-every", 0, "poll the trace file at this interval and republish when it gained days (0 = only explicit POST /refresh)")
+	refreshEvery := flag.Duration("refresh-every", 0, "poll the trace file at this interval and republish when it gained days (0 = only explicit POST /refresh); the file must be finalized at every poll — for a file under a live writer use -follow")
+	follow := flag.Bool("follow", false, "tail-follow a growing trace: probe for newly sealed days and republish as they land, tolerating in-progress writes and torn tails (mutually exclusive with -refresh-every)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "tail probe interval in -follow mode (backs off up to 10x while the file is idle)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
 	distDays := flag.String("dist-days", "", "comma-separated size-distribution days (default: three late snapshot days of the trace at startup, pinned so refreshes keep resuming)")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, or error")
@@ -63,18 +75,50 @@ func main() {
 		log.Error("-workers must be >= 1", "got", *workers)
 		os.Exit(2)
 	}
+	if *follow && *refreshEvery > 0 {
+		log.Error("-follow and -refresh-every are mutually exclusive")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The trace probe. In -follow mode every open — including this
+	// startup one — goes through the tail prober, which reads only the
+	// sealed prefix of a file a writer may still be appending to; the
+	// daemon waits for the first sealed day rather than failing when it
+	// wins the race against the writer.
+	var meta trace.Meta
+	var tailer *ingest.Tailer
+	var openSealed func() (trace.MetaSource, error)
+	if *follow {
+		tailer = ingest.NewTailer(ingest.Options{Path: *tracePath, Poll: *poll, Log: log})
+		openSealed = tailer.OpenSealed
+		src, err := openSealed()
+		for err != nil {
+			log.Info("waiting for a sealed trace prefix", "trace", *tracePath, "err", err)
+			select {
+			case <-ctx.Done():
+				os.Exit(1)
+			case <-time.After(*poll):
+			}
+			src, err = openSealed()
+		}
+		meta = src.Meta()
+	} else {
+		src, err := trace.OpenFileSource(*tracePath)
+		if err != nil {
+			log.Error("open trace", "err", err)
+			os.Exit(1)
+		}
+		meta = src.Meta()
+	}
 
 	// The warm configuration. SizeDistDays is pinned from the trace's
 	// length at startup (not re-derived on refresh): the days are part of
 	// the config fingerprint, and shifting them with every appended day
 	// would invalidate the checkpoints the incremental refresh resumes
 	// from — exactly the trap rranalyze's -dist-days docs warn about.
-	src, err := trace.OpenFileSource(*tracePath)
-	if err != nil {
-		log.Error("open trace", "err", err)
-		os.Exit(1)
-	}
-	meta := src.Meta()
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.CheckpointEvery = int32(*checkpointEvery)
@@ -89,9 +133,6 @@ func main() {
 	cfg.DeltaSweep = vs
 	cfg.Community.SizeDistDays = parseDistDays(log, *distDays, meta.Days, cfg.Community.StartDay, cfg.Community.SnapshotEvery)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	log.Info("loading warm state",
 		"trace", *tracePath, "days", meta.Days, "nodes", meta.Nodes, "edges", meta.Edges,
 		"checkpoint_dir", *checkpointDir)
@@ -101,12 +142,24 @@ func main() {
 		Config:        cfg,
 		CacheBytes:    *cacheMB << 20,
 		Log:           log,
+		Open:          openSealed, // nil outside -follow: default finalized-file probe
 	})
 	if err != nil {
 		log.Error("load", "err", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
+
+	if *follow {
+		applier := ingest.NewApplier(srv, tailer)
+		srv.RegisterStatz("ingest", applier.Statz)
+		go func() {
+			if err := applier.Run(ctx); ctx.Err() == nil {
+				log.Error("follow loop exited", "err", err)
+			}
+		}()
+		log.Info("following", "trace", *tracePath, "poll", *poll)
+	}
 
 	if *refreshEvery > 0 {
 		go func() {

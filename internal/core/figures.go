@@ -23,6 +23,44 @@ type Table struct {
 	Notes map[string]float64
 }
 
+// Equal reports whether two tables carry identical data: same identity,
+// columns, rows, and notes, with float cells compared by bit pattern so
+// NaN notes (an unfittable exponent) compare equal to themselves. The
+// serving layer uses it at publish time to detect panels a day advance
+// did not change.
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Figure != o.Figure || t.Title != o.Title ||
+		len(t.Columns) != len(o.Columns) || len(t.Rows) != len(o.Rows) ||
+		len(t.Notes) != len(o.Notes) {
+		return false
+	}
+	for i := range t.Columns {
+		if t.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	for i := range t.Rows {
+		if len(t.Rows[i]) != len(o.Rows[i]) {
+			return false
+		}
+		for j := range t.Rows[i] {
+			if math.Float64bits(t.Rows[i][j]) != math.Float64bits(o.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	for k, v := range t.Notes {
+		ov, ok := o.Notes[k]
+		if !ok || math.Float64bits(v) != math.Float64bits(ov) {
+			return false
+		}
+	}
+	return true
+}
+
 // AllFigures lists every reproducible panel id, in paper order.
 var AllFigures = []string{
 	"fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f",

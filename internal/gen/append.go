@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// ErrAppendMismatch is returned when the configuration handed to
+// AppendToFile would not regenerate the file's existing events as an
+// exact prefix — a different seed, a shrunk horizon, an inconsistent
+// merge day, or (caught by the counter cross-check) different generator
+// knobs. The file is left exactly as it was.
+var ErrAppendMismatch = errors.New("gen: config does not extend the existing trace")
+
+// AppendToFile extends an existing generated trace file in place to
+// cfg.Days, prefix-stable: the file's events are untouched and only the
+// days past its current horizon are appended. It relies on the
+// generator's determinism — the same config with a longer horizon emits
+// the shorter trace as an exact prefix (pinned by
+// TestExtendedHorizonKeepsPrefix) — so cfg must be the file's original
+// configuration with only Days raised. The prefix is re-simulated and
+// skipped (determinism has no shortcut), and its accumulated counters
+// are cross-checked against the file header before a single byte is
+// appended; a mismatch aborts with ErrAppendMismatch and the file
+// re-finalized unchanged.
+//
+// The appended events are flushed to disk at every day boundary, so a
+// concurrent trace.TailProbe observes each completed day as soon as the
+// next one starts — this is the live writer the ingest plane tails.
+// Close back-patches the header and index footer, after which the file
+// is byte-identical to generating the full horizon from scratch.
+func AppendToFile(cfg Config, path string) (trace.Meta, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return trace.Meta{}, err
+	}
+	defer f.Close()
+	enc, err := trace.OpenAppend(f)
+	if err != nil {
+		return trace.Meta{}, err
+	}
+	old := enc.Meta()
+	if err := checkAppendConfig(cfg, old); err == nil {
+		// The one identity knob an extension may legally change: a merge
+		// day inside the appended window (the prefix days are merge-free
+		// either way). The finalized header must record it, exactly as a
+		// from-scratch generation would.
+		if cfg.Merge != nil {
+			enc.SetMergeDay(cfg.Merge.Day)
+		}
+	} else {
+		// OpenAppend truncated the footer; re-finalize the unchanged
+		// events so the file is restored byte-for-byte.
+		if cerr := enc.Close(); cerr != nil {
+			return trace.Meta{}, fmt.Errorf("%w (and re-finalizing failed: %v)", err, cerr)
+		}
+		return trace.Meta{}, err
+	}
+
+	skip := enc.Events()
+	var (
+		prefix  trace.Meta
+		n       uint64
+		lastDay = int32(-1)
+	)
+	prefix.MergeDay = -1
+	meta, err := GenerateStream(cfg, func(ev trace.Event) error {
+		if n < skip {
+			prefix.Accumulate(ev)
+			n++
+			if n == skip && !prefixMatches(prefix, old) {
+				return fmt.Errorf("%w: regenerated prefix summarizes to %+v, file header holds %+v (different generator knobs?)",
+					ErrAppendMismatch, prefix, old)
+			}
+			return nil
+		}
+		n++
+		newDay := ev.Day != lastDay
+		lastDay = ev.Day
+		if err := enc.Write(ev); err != nil {
+			return err
+		}
+		if newDay {
+			// The first event of a new day is what seals the previous
+			// one for tail readers; push it to disk.
+			return enc.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// The stream may have emitted fewer events than the file holds
+		// (shrunk arrival knobs) or failed mid-append. Whatever complete
+		// events were written are finalized so the file stays decodable.
+		if cerr := enc.Close(); cerr != nil {
+			return trace.Meta{}, fmt.Errorf("%w (and re-finalizing failed: %v)", err, cerr)
+		}
+		return trace.Meta{}, err
+	}
+	if n < skip {
+		err = fmt.Errorf("%w: config generates only %d events, file holds %d", ErrAppendMismatch, n, skip)
+		if cerr := enc.Close(); cerr != nil {
+			return trace.Meta{}, fmt.Errorf("%w (and re-finalizing failed: %v)", err, cerr)
+		}
+		return trace.Meta{}, err
+	}
+	if err := enc.Close(); err != nil {
+		return trace.Meta{}, err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return trace.Meta{}, cerr
+	}
+	return meta, nil
+}
+
+// checkAppendConfig validates the cheap identity knobs before any
+// simulation work.
+func checkAppendConfig(cfg Config, old trace.Meta) error {
+	switch {
+	case cfg.Seed != old.Seed:
+		return fmt.Errorf("%w: seed %d, file was generated with seed %d", ErrAppendMismatch, cfg.Seed, old.Seed)
+	case cfg.Days <= old.Days:
+		return fmt.Errorf("%w: horizon %d does not extend the file's %d days", ErrAppendMismatch, cfg.Days, old.Days)
+	}
+	want := int32(-1)
+	if cfg.Merge != nil {
+		want = cfg.Merge.Day
+	}
+	switch {
+	case old.MergeDay >= 0 && want != old.MergeDay:
+		return fmt.Errorf("%w: merge day %d, file recorded merge day %d", ErrAppendMismatch, want, old.MergeDay)
+	case old.MergeDay < 0 && want >= 0 && want < old.Days:
+		return fmt.Errorf("%w: merge day %d falls inside the file's %d merge-free days", ErrAppendMismatch, want, old.Days)
+	}
+	return nil
+}
+
+// prefixMatches compares the regenerated prefix's accumulated counters
+// with the file header's. Seed and MergeDay are generator knowledge (not
+// accumulated) and checked separately by checkAppendConfig.
+func prefixMatches(got, old trace.Meta) bool {
+	return got.Days == old.Days && got.Nodes == old.Nodes && got.Edges == old.Edges &&
+		got.Xiaonei == old.Xiaonei && got.FiveQ == old.FiveQ && got.NewUsers == old.NewUsers
+}

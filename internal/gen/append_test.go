@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTestConfig is SmallConfig at a horizon past the merge, fast
+// enough to simulate a few times per test.
+func appendTestConfig(days int32) Config {
+	c := SmallConfig()
+	c.Days = days
+	return c
+}
+
+// TestAppendToFileByteIdentical pins the live-ingest contract end to end:
+// generate a 160-day trace, AppendToFile it out to 200 days (through the
+// day-150 merge's post-merge regime), and the file must be byte-identical
+// to generating 200 days from scratch.
+func TestAppendToFileByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.trace")
+	grown := filepath.Join(dir, "grown.trace")
+
+	wantMeta, err := GenerateToFile(appendTestConfig(200), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateToFile(appendTestConfig(160), grown); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, err := AppendToFile(appendTestConfig(200), grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != wantMeta {
+		t.Fatalf("meta: append %+v, from-scratch %+v", gotMeta, wantMeta)
+	}
+	if !sameBytes(mustReadFile(t, grown), mustReadFile(t, full)) {
+		t.Fatal("appended file differs from from-scratch generation")
+	}
+
+	// A second extension of the already-extended file.
+	if _, err := AppendToFile(appendTestConfig(230), grown); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateToFile(appendTestConfig(230), full); err != nil {
+		t.Fatal(err)
+	}
+	if !sameBytes(mustReadFile(t, grown), mustReadFile(t, full)) {
+		t.Fatal("second append differs from from-scratch generation")
+	}
+}
+
+// TestAppendToFileMergeInWindow: extending a merge-free trace with a
+// config whose merge day falls inside the appended window is legal (the
+// prefix days are merge-free either way) and stays byte-identical.
+func TestAppendToFileMergeInWindow(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.trace")
+	grown := filepath.Join(dir, "grown.trace")
+
+	base := appendTestConfig(120)
+	base.Merge = nil
+	ext := appendTestConfig(200) // merge day 150 ∈ [120, 200)
+
+	if _, err := GenerateToFile(ext, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateToFile(base, grown); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendToFile(ext, grown); err != nil {
+		t.Fatal(err)
+	}
+	if !sameBytes(mustReadFile(t, grown), mustReadFile(t, full)) {
+		t.Fatal("merge-in-window append differs from from-scratch generation")
+	}
+}
+
+// TestAppendToFileRejectsMismatch: every identity violation — wrong seed,
+// shrunk horizon, moved merge day, different generator knobs (caught by
+// the counter cross-check after re-simulating the prefix) — aborts with
+// ErrAppendMismatch and leaves the file byte-for-byte untouched,
+// including its footer.
+func TestAppendToFileRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.trace")
+	if _, err := GenerateToFile(appendTestConfig(160), path); err != nil {
+		t.Fatal(err)
+	}
+	before := mustReadFile(t, path)
+
+	badSeed := appendTestConfig(200)
+	badSeed.Seed++
+	shrunk := appendTestConfig(160)
+	movedMerge := appendTestConfig(200)
+	movedMerge.Merge.Day = 170
+	badKnobs := appendTestConfig(200)
+	badKnobs.Arrival.Base *= 2
+
+	for name, cfg := range map[string]Config{
+		"seed": badSeed, "shrunk": shrunk, "merge": movedMerge, "knobs": badKnobs,
+	} {
+		if _, err := AppendToFile(cfg, path); !errors.Is(err, ErrAppendMismatch) {
+			t.Fatalf("%s: err = %v, want ErrAppendMismatch", name, err)
+		}
+		if !sameBytes(mustReadFile(t, path), before) {
+			t.Fatalf("%s: rejected append modified the file", name)
+		}
+	}
+}

@@ -23,7 +23,7 @@ type Cache struct {
 	items   map[string]*list.Element // value type: *cacheEntry
 	flights map[string]*flight
 
-	hits, misses, coalesced, evictions, dropped int64
+	hits, misses, coalesced, evictions, dropped, carried int64
 }
 
 // cacheEntry is one cached encoding with the trace day it was computed
@@ -64,6 +64,7 @@ type CacheStats struct {
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
 	Dropped   int64 `json:"dropped"`
+	Carried   int64 `json:"carried"`
 }
 
 // Stats returns the current counters.
@@ -79,7 +80,37 @@ func (c *Cache) Stats() CacheStats {
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
 		Dropped:   c.dropped,
+		Carried:   c.carried,
 	}
+}
+
+// Rekey moves the entry at oldKey to newKey, restamping its generation
+// day — the publish-time carry-forward for panels whose encodings are
+// unchanged across a day advance, sparing their next request a
+// re-encode. It reports whether an entry moved; absent oldKey or an
+// already-occupied newKey are no-ops.
+func (c *Cache) Rekey(oldKey, newKey string, day int32) bool {
+	if oldKey == newKey {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[oldKey]
+	if ok {
+		if _, taken := c.items[newKey]; taken {
+			ok = false
+		}
+	}
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	delete(c.items, oldKey)
+	ent.key, ent.day = newKey, day
+	c.items[newKey] = el
+	c.ll.MoveToFront(el)
+	c.carried++
+	return true
 }
 
 // GetOrCompute returns the cached bytes for key, or runs compute exactly

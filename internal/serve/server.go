@@ -65,20 +65,40 @@ type Options struct {
 	CacheBytes int64
 	// Log receives request and lifecycle records (default slog.Default).
 	Log *slog.Logger
+	// Open, when set, replaces the default trace probe: it returns the
+	// MetaSource the warm pass and every refresh read. The ingest plane
+	// points it at the tail prober's sealed prefix, so a refresh can
+	// never decode a torn tail or a half-written day. Defaults to opening
+	// TracePath as a finalized trace file.
+	Open func() (trace.MetaSource, error)
 }
+
+// ErrClosed is returned by Refresh and AdvanceTo once Close has begun:
+// the server no longer advances, though the published snapshot keeps
+// serving reads until the process exits.
+var ErrClosed = errors.New("serve: server is closed")
 
 // Snapshot is one published generation of warm state: an immutable,
 // sealed Result plus the identity its cache keys derive from. Fields are
 // never mutated after publish — a refresh builds a new Snapshot.
 type Snapshot struct {
-	Res         *core.Result
-	Meta        trace.Meta
+	Res  *core.Result
+	Meta trace.Meta
+	// Src is the data plane this snapshot was computed from. Cold plan
+	// executions (custom-δ requests) replay it, so they see exactly the
+	// days the snapshot describes — never a torn tail the file may have
+	// grown in the meantime.
+	Src         trace.MetaSource
 	Day         int32 // last trace day (Meta.Days - 1)
 	Fingerprint uint64
 	Deltas      []float64
 	DeltaTag    string
 	LoadedAt    time.Time
 	ResumedFrom int32 // checkpoint day the warm pass resumed from, -1 if from zero
+	// Carried counts the figures whose tables were bit-identical to the
+	// previous snapshot's at publish time — their cached encodings were
+	// re-keyed to this generation instead of recomputed.
+	Carried int
 }
 
 // Server is the figure-serving daemon's engine room; Handler exposes it
@@ -98,6 +118,18 @@ type Server struct {
 
 	refreshMu  sync.Mutex
 	refreshing *refreshFlight
+
+	// applyMu serializes snapshot advances (Refresh and the ingest
+	// plane's AdvanceTo); Close acquires it to drain an in-flight apply
+	// before cancelling baseCtx.
+	applyMu sync.Mutex
+	closed  atomic.Bool
+
+	// open probes the trace: Options.Open, or the TracePath default.
+	open func() (trace.MetaSource, error)
+
+	statzMu    sync.Mutex
+	statzExtra map[string]func() any
 
 	start     time.Time
 	requests  atomic.Int64
@@ -128,10 +160,28 @@ func NewServer(ctx context.Context, opt Options) (*Server, error) {
 		cache:      NewCache(opt.CacheBytes),
 		baseCtx:    baseCtx,
 		cancel:     cancel,
+		statzExtra: make(map[string]func() any),
 		start:      time.Now(),
 		runFigures: core.RunFigures,
 	}
-	snap, err := s.load(ctx)
+	s.open = opt.Open
+	if s.open == nil {
+		// Frozen: the snapshot's source must keep replaying the days the
+		// snapshot was computed from even while a writer grows the file.
+		s.open = func() (trace.MetaSource, error) {
+			fs, err := trace.OpenFileSource(opt.TracePath)
+			if err != nil {
+				return nil, err
+			}
+			return fs.Frozen(), nil
+		}
+	}
+	src, err := s.open()
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: open trace: %w", err)
+	}
+	snap, err := s.loadFrom(ctx, src)
 	if err != nil {
 		cancel()
 		return nil, err
@@ -146,9 +196,23 @@ func NewServer(ctx context.Context, opt Options) (*Server, error) {
 	return s, nil
 }
 
-// Close cancels the server's background context; in-flight cold plan
-// executions abort at their next day boundary.
-func (s *Server) Close() { s.cancel() }
+// Close shuts the advance plane down cleanly: it marks the server closed
+// (new Refresh/AdvanceTo calls return ErrClosed), drains the apply in
+// flight — a refresh that has already started completes and publishes,
+// so its work is not torn away mid-pass — and only then cancels the
+// background context, aborting any cold plan executions at their next
+// day boundary. Safe to call more than once.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		s.cancel()
+		return
+	}
+	// Acquiring applyMu is the drain: an in-flight apply holds it until
+	// its publish completes.
+	s.applyMu.Lock()
+	s.applyMu.Unlock() //nolint:staticcheck // empty section is the drain
+	s.cancel()
+}
 
 // Snapshot returns the currently published generation.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
@@ -176,15 +240,11 @@ func (s *Server) coldConfig(deltas []float64) core.Config {
 	return cfg
 }
 
-// load runs the warm plan over the trace file's current content and
-// seals the Result into a publishable Snapshot.
-func (s *Server) load(ctx context.Context) (*Snapshot, error) {
+// loadFrom runs the warm plan over src and seals the Result into a
+// publishable Snapshot.
+func (s *Server) loadFrom(ctx context.Context, src trace.MetaSource) (*Snapshot, error) {
 	if ctx == nil {
 		ctx = s.baseCtx
-	}
-	src, err := trace.OpenFileSource(s.opt.TracePath)
-	if err != nil {
-		return nil, fmt.Errorf("serve: open trace: %w", err)
 	}
 	meta := src.Meta()
 	cfg := s.warmConfig()
@@ -199,6 +259,7 @@ func (s *Server) load(ctx context.Context) (*Snapshot, error) {
 	res.Seal()
 	return &Snapshot{
 		Res:         res,
+		Src:         src,
 		Meta:        meta,
 		Day:         meta.Days - 1,
 		Fingerprint: plan.Fingerprint(cfg, meta),
@@ -256,27 +317,74 @@ func (s *Server) Refresh(ctx context.Context) (advanced bool, day int32, err err
 
 // refresh is one ingest pass: probe, advance, publish.
 func (s *Server) refresh(ctx context.Context) (bool, int32, error) {
-	cur := s.snap.Load()
-	src, err := trace.OpenFileSource(s.opt.TracePath)
-	if err != nil {
-		return false, cur.Day, fmt.Errorf("serve: refresh probe: %w", err)
+	if s.closed.Load() {
+		return false, s.snap.Load().Day, ErrClosed
 	}
-	if meta := src.Meta(); meta.Days-1 == cur.Day {
+	src, err := s.open()
+	if err != nil {
+		return false, s.snap.Load().Day, fmt.Errorf("serve: refresh probe: %w", err)
+	}
+	return s.AdvanceTo(ctx, src)
+}
+
+// AdvanceTo runs the warm plan over src — resuming from the newest
+// compatible checkpoint when armed — and publishes the result, carrying
+// forward cache entries of figures whose tables did not change. It is
+// the ingest plane's entry point: the tailer hands it each newly sealed
+// prefix. A src whose horizon does not extend past the published day is
+// a no-op. Advances are serialized; the pass itself runs under the
+// server's lifetime context, so a caller hanging up cannot tear down a
+// publish other readers are waiting on, and Close drains any apply in
+// flight before cancelling.
+func (s *Server) AdvanceTo(ctx context.Context, src trace.MetaSource) (advanced bool, day int32, err error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	cur := s.snap.Load()
+	if s.closed.Load() {
+		return false, cur.Day, ErrClosed
+	}
+	if src.Meta().Days-1 <= cur.Day {
 		return false, cur.Day, nil
 	}
 	t0 := time.Now()
-	snap, err := s.load(ctx)
+	snap, err := s.loadFrom(s.baseCtx, src)
 	if err != nil {
 		return false, cur.Day, err
 	}
-	s.publish(snap)
+	s.publishAdvance(cur, snap)
 	s.refreshes.Add(1)
 	s.log.LogAttrs(ctx, slog.LevelInfo, "refreshed",
 		slog.Int("from_day", int(cur.Day)),
 		slog.Int("to_day", int(snap.Day)),
 		slog.Int("resumed_from", int(snap.ResumedFrom)),
+		slog.Int("carried", snap.Carried),
 		slog.Duration("took", time.Since(t0)))
-	return snap.Day != cur.Day, snap.Day, nil
+	return true, snap.Day, nil
+}
+
+// publishAdvance publishes snap, first re-keying the cache entries of
+// every figure whose table is identical to the outgoing snapshot's:
+// day-advance invalidation is by construction (the day is in the key),
+// so unchanged panels would otherwise be re-encoded on their next
+// request even though not a byte of them moved.
+func (s *Server) publishAdvance(prev, snap *Snapshot) {
+	if prev != nil && snap.Day != prev.Day && snap.DeltaTag == prev.DeltaTag {
+		for _, id := range snap.Res.Figures() {
+			oldTab, oldErr := prev.Res.Figure(id)
+			newTab, newErr := snap.Res.Figure(id)
+			if oldErr != nil || newErr != nil || !newTab.Equal(oldTab) {
+				continue
+			}
+			snap.Carried++
+			for _, f := range []core.Format{core.FormatTSV, core.FormatJSON} {
+				s.cache.Rekey(
+					cacheKey(prev.Fingerprint, prev.Day, id, prev.DeltaTag, f),
+					cacheKey(snap.Fingerprint, snap.Day, id, snap.DeltaTag, f),
+					snap.Day)
+			}
+		}
+	}
+	s.publish(snap)
 }
 
 // Handler returns the daemon's HTTP surface:
@@ -334,11 +442,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		key = cacheKey(plan.Fingerprint(cfg, snap.Meta), snap.Day, id, deltaTag(deltas), format)
 		compute = func() ([]byte, error) {
-			src, err := trace.OpenFileSource(s.opt.TracePath)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.runFigures(s.baseCtx, src, cfg, id)
+			// Replay the snapshot's own source: re-opening the file here
+			// would read days (or a torn tail) the snapshot's day key
+			// doesn't describe.
+			res, err := s.runFigures(s.baseCtx, snap.Src, cfg, id)
 			if err != nil {
 				return nil, err
 			}
@@ -401,9 +508,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok", "last_day": snap.Day})
 }
 
+// RegisterStatz merges fn's value under name into every /statz response
+// — the hook the ingest plane uses to expose tail-lag metrics. fn must
+// be safe for concurrent use.
+func (s *Server) RegisterStatz(name string, fn func() any) {
+	s.statzMu.Lock()
+	defer s.statzMu.Unlock()
+	s.statzExtra[name] = fn
+}
+
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, map[string]any{
+	stats := map[string]any{
 		"uptime_s": time.Since(s.start).Seconds(),
 		"requests": s.requests.Load(),
 		"trace": map[string]any{
@@ -420,10 +536,17 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			"resumed_from": snap.ResumedFrom,
 			"figures":      len(snap.Res.Figures()),
 			"deltas":       snap.Deltas,
+			"carried":      snap.Carried,
 		},
 		"cache":     s.cache.Stats(),
 		"refreshes": s.refreshes.Load(),
-	})
+	}
+	s.statzMu.Lock()
+	for name, fn := range s.statzExtra {
+		stats[name] = fn()
+	}
+	s.statzMu.Unlock()
+	writeJSON(w, stats)
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrNotAppendable is returned by OpenAppend for files that cannot be
+// extended in place: one-shot Encode output (variable-width header, no
+// room to back-patch) or files whose writer never reached Close (the
+// poisoned count slot means the event stream's extent is unknown).
+var ErrNotAppendable = errors.New("trace: file is not appendable")
+
+// fixedHeaderLen is the streaming Encoder's header size: magic, the
+// 2-byte uvarint of encMetaPad, the padded meta slot, the padded count.
+const fixedHeaderLen = len(magic) + 2 + encMetaPad + encCountPad
+
+// parseFixedHeader decodes the streaming Encoder's fixed-width header
+// from hdr. It rejects the one-shot Encode layout (whose meta length is
+// the JSON's exact size, not encMetaPad) and a poisoned count slot.
+func parseFixedHeader(hdr []byte) (meta Meta, count uint64, err error) {
+	if len(hdr) < fixedHeaderLen {
+		return meta, 0, fmt.Errorf("%w: %d-byte file is shorter than a finalized header", ErrNotAppendable, len(hdr))
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return meta, 0, ErrBadMagic
+	}
+	metaLen, n := binary.Uvarint(hdr[4:])
+	if n <= 0 || metaLen != encMetaPad {
+		return meta, 0, fmt.Errorf("%w: header meta slot is not the fixed-width encoder layout", ErrNotAppendable)
+	}
+	metaStart := 4 + n
+	if err := json.Unmarshal(bytes.TrimRight(hdr[metaStart:metaStart+encMetaPad], " "), &meta); err != nil {
+		return meta, 0, fmt.Errorf("trace: bad meta: %w", err)
+	}
+	count, err = binary.ReadUvarint(bytes.NewReader(hdr[metaStart+encMetaPad : fixedHeaderLen]))
+	if err != nil {
+		return meta, 0, fmt.Errorf("%w: count slot is not finalized (writer crashed before Close?)", ErrNotAppendable)
+	}
+	if count > maxEventCount {
+		return meta, 0, fmt.Errorf("%w: %d events", ErrCountTooLarge, count)
+	}
+	return meta, count, nil
+}
+
+// OpenAppend reopens a finalized streaming-Encoder file for in-place
+// extension and returns an Encoder positioned after its last event: the
+// index footer is truncated away, the day index and meta counters are
+// restored, and subsequent Write/Close calls behave exactly as if the
+// original encoder had never closed — appending days D..D+k to a trace
+// and generating the full trace from scratch produce byte-identical
+// files.
+//
+// f must be open read-write. While an append is in progress the header
+// on disk still holds the pre-append meta and count, so a concurrent
+// reader sees the original (shorter) trace; the TailProbe sees further,
+// up to the last sealed day. Close back-patches the header and re-appends
+// the footer, finalizing the extended file.
+//
+// If the footer is missing or damaged the event stream is decoded once
+// to rebuild the index and locate its end; any trailing garbage past the
+// declared events is truncated.
+func OpenAppend(f *os.File) (*Encoder, error) {
+	hdr := make([]byte, fixedHeaderLen)
+	if _, err := io.ReadAtLeast(f, hdr, fixedHeaderLen); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrNotAppendable, err)
+	}
+	meta, count, err := parseFixedHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+
+	idx, eventsEnd := readDayIndexOff(f, count)
+	prevDay := int32(0)
+	if idx != nil {
+		// The index's last entry marks the first event of the final day;
+		// every event after it shares that day.
+		if len(idx) > 0 {
+			prevDay = idx[len(idx)-1].Day
+		}
+	} else {
+		// No (valid) footer: one decode pass rebuilds the index and finds
+		// the stream's end.
+		if _, err := f.Seek(int64(fixedHeaderLen), io.SeekStart); err != nil {
+			return nil, err
+		}
+		cr := &countingReader{r: f}
+		br := bufio.NewReader(cr)
+		dec := resumeDecoder(br, meta, count, 0)
+		off := int64(fixedHeaderLen)
+		var n uint64
+		for {
+			ev, ok, err := dec.Next()
+			if err != nil {
+				return nil, fmt.Errorf("%w: rebuilding index: %v", ErrNotAppendable, err)
+			}
+			if !ok {
+				break
+			}
+			if n == 0 || ev.Day > prevDay {
+				idx = append(idx, DayIndexEntry{Day: ev.Day, Offset: off, Event: n, PrevDay: prevDay})
+			}
+			off = int64(fixedHeaderLen) + cr.n - int64(br.Buffered())
+			prevDay = ev.Day
+			n++
+		}
+		eventsEnd = off
+	}
+
+	if eventsEnd < int64(fixedHeaderLen) {
+		return nil, fmt.Errorf("%w: event stream ends inside the header", ErrNotAppendable)
+	}
+	if err := f.Truncate(eventsEnd); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(eventsEnd, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		ws:      f,
+		bw:      bufio.NewWriterSize(f, 1<<16),
+		meta:    meta,
+		count:   count,
+		prevDay: prevDay,
+		offset:  eventsEnd,
+		index:   idx,
+	}, nil
+}

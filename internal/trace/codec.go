@@ -561,6 +561,22 @@ func (e *Encoder) Write(ev Event) error {
 // SetMergeDay knowledge); after Close it is exactly what the header holds.
 func (e *Encoder) Meta() Meta { return e.meta }
 
+// Events returns how many events have been written (for an OpenAppend
+// encoder, including the events the file already held).
+func (e *Encoder) Events() uint64 { return e.count }
+
+// Flush forces buffered event bytes down to the underlying writer. An
+// appender tailing readers follow calls it at day boundaries: once the
+// first event of day D+1 is on disk, a TailProbe can prove day D is
+// sealed — without flushes, completed days sit invisible in the buffer
+// until it fills or Close runs.
+func (e *Encoder) Flush() error {
+	if e.closed {
+		return errors.New("trace: encoder is closed")
+	}
+	return e.bw.Flush()
+}
+
 // Close flushes the event stream, appends the day-index footer, and
 // back-patches the header with the final meta and count. The encoder is
 // unusable afterwards; closing the underlying file stays the caller's job.

@@ -93,6 +93,8 @@ func EventsThrough(src Source, day int32) (int64, bool) {
 		return int64(sort.Search(len(s), func(i int) bool { return s[i].Day > day })), true
 	case TraceSource:
 		return EventsThrough(SliceSource(s.Trace.Events), day)
+	case *tailSource:
+		return s.eventsThrough(day)
 	}
 	return 0, false
 }
@@ -188,6 +190,7 @@ type FileSource struct {
 	Path   string
 	meta   Meta
 	events uint64
+	start  int64           // byte offset of the first event (end of header)
 	index  []DayIndexEntry // nil when the file has no (valid) index footer
 }
 
@@ -200,13 +203,29 @@ func OpenFileSource(path string) (*FileSource, error) {
 		return nil, err
 	}
 	defer f.Close()
-	dec, err := NewDecoder(f)
+	meta, events, start, err := parseStreamHeader(f)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	s := &FileSource{Path: path, meta: dec.Meta(), events: dec.Events()}
-	s.index = readDayIndex(f, dec.Events()) // best effort; nil means "no index"
+	s := &FileSource{Path: path, meta: meta, events: events, start: start}
+	s.index = readDayIndex(f, events) // best effort; nil means "no index"
 	return s, nil
+}
+
+// Frozen returns a count-bounded view of the file's content as of open
+// time: cursors decode exactly the events the header declared, so a
+// writer appending days in place — or atomically replacing the file with
+// a prefix-stable extension — never changes what an open pass reads. The
+// serving layer hands these to snapshots so a published generation's
+// data plane cannot drift under it.
+func (s *FileSource) Frozen() MetaSource {
+	return &tailSource{
+		path:   s.Path,
+		meta:   s.meta,
+		start:  s.start,
+		events: s.events,
+		index:  s.index,
+	}
 }
 
 // readDayIndex reads the day-index footer from the end of the file. Any
@@ -214,36 +233,46 @@ func OpenFileSource(path string) (*FileSource, error) {
 // point outside the file or past the header's event count — yields nil:
 // an index is an accelerator, never a correctness requirement.
 func readDayIndex(f *os.File, events uint64) []DayIndexEntry {
+	idx, _ := readDayIndexOff(f, events)
+	return idx
+}
+
+// readDayIndexOff is readDayIndex plus the byte offset the footer starts
+// at — equivalently, where the event stream ends. Appenders truncate the
+// file there before extending it; the tail prober uses it to bound its
+// decode. off is -1 when the index is absent or invalid.
+func readDayIndexOff(f *os.File, events uint64) ([]DayIndexEntry, int64) {
 	fi, err := f.Stat()
 	if err != nil || fi.Size() < indexTrailerLen {
-		return nil
+		return nil, -1
 	}
 	var trailer [indexTrailerLen]byte
 	if _, err := f.ReadAt(trailer[:], fi.Size()-indexTrailerLen); err != nil {
-		return nil
+		return nil, -1
 	}
 	if [4]byte(trailer[8:12]) != indexEndMagic {
-		return nil
+		return nil, -1
 	}
 	n := int64(binary.LittleEndian.Uint64(trailer[:8]))
 	if n <= 0 || n > fi.Size()-indexTrailerLen || n > maxIndexFooterBytes {
-		return nil
+		return nil, -1
 	}
 	buf := make([]byte, n)
 	if _, err := f.ReadAt(buf, fi.Size()-indexTrailerLen-n); err != nil {
-		return nil
+		return nil, -1
 	}
 	idx, err := parseDayIndex(buf)
 	if err != nil {
-		return nil
+		return nil, -1
 	}
+	off := fi.Size() - indexTrailerLen - n
 	if len(idx) > 0 {
 		last := idx[len(idx)-1]
-		if last.Event >= events || last.Offset >= fi.Size()-indexTrailerLen-n {
-			return nil
+		if last.Event >= events || last.Offset >= off {
+			return nil, -1
 		}
 	}
-	return idx
+	return idx, off
 }
 
 // maxIndexFooterBytes bounds how large a footer readDayIndex will load.

@@ -1,0 +1,416 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// TailProbe incrementally tracks a trace file that a writer may still be
+// appending to (see DESIGN.md §9). Each Probe call re-examines the file
+// and returns a TailSnapshot describing the *sealed prefix* — the events
+// of every day that is provably complete — which is the only part of a
+// growing trace an analysis may consume.
+//
+// The sealing rule: day D is sealed once an event of a later day has been
+// observed (events are written in non-decreasing day order, so a day-D+1
+// event proves day D gained its last event), or once the file is
+// finalized (a valid index footer plus a back-patched header count mean
+// the writer's Close ran and every day is complete). The trailing,
+// still-growing day is therefore never sealed until the writer moves past
+// it — that is what makes figures computed from a snapshot reproducible
+// against a from-zero run over the eventually-finalized file.
+//
+// The probe tolerates everything a live writer does to the file:
+//
+//   - A stale header. An appender (OpenAppend) leaves the pre-append
+//     header in place until its Close, so the header's count is treated
+//     as a floor, never the stream's extent — the probe finds the extent
+//     by decoding.
+//   - A missing index footer. The appender truncates it away while it
+//     holds the file; the probe builds its own day index as it decodes.
+//   - A torn tail. A partially flushed final event decodes as a
+//     truncation; the probe forgives it, keeps its frontier at the last
+//     complete event, and re-reads the few partial bytes next time.
+//
+// Decode anomalies that a live writer cannot produce (a bad kind byte,
+// id overflow) are reported on the snapshot's Anomaly field without
+// advancing the frontier: the sealed prefix stays serveable while the
+// operator investigates.
+//
+// Probes are incremental: each call decodes only the bytes appended
+// since the previous call (the first probe of an already-finalized file
+// trusts its header and footer outright, like OpenFileSource). A
+// TailProbe is not safe for concurrent use; callers serialize Probe.
+type TailProbe struct {
+	path string
+	fi   os.FileInfo // identity of the file the state below describes
+
+	start       int64 // byte offset of the first event (end of header)
+	headerMeta  Meta
+	headerCount uint64
+
+	cur     tailPos // decode frontier: boundary after the last complete event
+	curDay  int32   // day-delta watermark at the frontier
+	curMeta Meta    // counters accumulated over [0, cur.count)
+
+	sealed      tailPos // boundary before the trailing day's first event
+	sealedMeta  Meta    // counters accumulated over [0, sealed.count)
+	trailingDay int32   // day of the events past sealed; -1 before any event
+	sealedValid bool    // false after a trusted-finalized load, until a new
+	// day barrier (or a reset) re-derives the sealed state by decoding
+
+	index []DayIndexEntry // first-event-of-day entries, entries never mutated
+}
+
+// tailPos is one event boundary in the stream: a byte offset and how many
+// events precede it.
+type tailPos struct {
+	off   int64
+	count uint64
+}
+
+// NewTailProbe returns a probe for the trace file at path. The file need
+// not exist yet; Probe reports the open error until it does.
+func NewTailProbe(path string) *TailProbe { return &TailProbe{path: path} }
+
+// reset clears all decode state; the next Probe re-derives it from
+// scratch.
+func (p *TailProbe) reset() {
+	p.fi = nil
+	p.cur = tailPos{}
+	p.curDay = 0
+	p.curMeta = Meta{MergeDay: -1}
+	p.sealed = tailPos{}
+	p.sealedMeta = Meta{MergeDay: -1}
+	p.trailingDay = -1
+	p.sealedValid = true
+	p.index = nil
+}
+
+// Probe re-examines the file and returns the current sealed-prefix
+// snapshot. An error means the file could not be probed at all (missing,
+// unreadable, or its header is not yet decodable — a from-scratch writer
+// that has not finalized); the caller backs off and retries. Tail decode
+// anomalies ride on the snapshot instead: the sealed prefix they leave
+// behind is still valid.
+func (p *TailProbe) Probe() (*TailSnapshot, error) {
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	// The header is re-read every probe: an appender's Close back-patches
+	// it in place (and a from-scratch writer's header stays poisoned —
+	// undecodable — until its Close, which surfaces here as an error).
+	meta, count, start, err := parseStreamHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	// The footer bounds the event stream when present. Validity here is
+	// structural (magic, CRC) only — during the writer's Close there is a
+	// moment when the new footer is on disk but the header is still old,
+	// and using the stale count to judge the footer would misplace the
+	// stream's end.
+	idx, footOff := readDayIndexOff(f, maxEventCount)
+	eventsEnd := fi.Size()
+	if footOff >= 0 {
+		eventsEnd = footOff
+	}
+
+	fresh := p.fi == nil || !os.SameFile(p.fi, fi) || p.start != start || eventsEnd < p.cur.off
+	if fresh {
+		p.reset()
+		p.start = start
+		p.cur.off = start
+		// A finalized file on a clean slate: trust header and footer the
+		// way OpenFileSource does, skipping the O(events) decode. The
+		// sealed state is deliberately left unset (sealedValid=false) —
+		// if the file is later reopened for append, the first new day
+		// barrier re-derives it, and cheaper than a full decode.
+		trust := footOff >= 0 && idx != nil &&
+			(count == 0) == (len(idx) == 0) &&
+			(len(idx) == 0 || (idx[len(idx)-1].Event < count && idx[len(idx)-1].Offset < footOff))
+		if trust {
+			p.fi = fi
+			p.headerMeta, p.headerCount = meta, count
+			p.cur = tailPos{off: eventsEnd, count: count}
+			p.curMeta = meta
+			if len(idx) > 0 {
+				p.curDay = idx[len(idx)-1].Day
+			}
+			p.sealedValid = false
+			p.index = idx
+			return p.snapshot(true, nil), nil
+		}
+	}
+	p.fi = fi
+	p.headerMeta, p.headerCount = meta, count
+
+	// Decode forward from the frontier over the newly visible bytes.
+	var anomaly error
+	if eventsEnd > p.cur.off {
+		base := p.cur.off
+		cr := &countingReader{r: io.NewSectionReader(f, base, eventsEnd-base)}
+		br := bufio.NewReader(cr)
+		dec := resumeDecoder(br, p.headerMeta, maxEventCount, p.curDay)
+		for {
+			ev, ok, err := dec.Next()
+			if err != nil {
+				if errors.Is(err, ErrTruncated) {
+					// The stream ran out: either exactly at our frontier
+					// (a clean boundary) or inside an event (a torn tail
+					// write). Both are normal under a live writer; a
+					// finalized stream ending mid-event is not.
+					if footOff >= 0 && p.cur.off != eventsEnd {
+						anomaly = fmt.Errorf("trace: finalized stream ends mid-event: %w", err)
+					}
+				} else {
+					anomaly = err
+				}
+				break
+			}
+			if !ok {
+				break
+			}
+			if !p.sealedValid && ev.Day <= p.curDay {
+				// Appended events continue the trusted file's final day:
+				// the sealed boundary now lies inside a prefix we never
+				// decoded. Rescan from scratch to re-derive it exactly.
+				p.reset()
+				return p.Probe()
+			}
+			if p.cur.count == 0 || ev.Day > p.curDay {
+				p.sealed = p.cur
+				p.sealedMeta = p.curMeta
+				p.trailingDay = ev.Day
+				p.sealedValid = true
+				p.index = append(p.index, DayIndexEntry{
+					Day: ev.Day, Offset: p.cur.off, Event: p.cur.count, PrevDay: p.curDay,
+				})
+			}
+			p.curMeta.Accumulate(ev)
+			p.cur.count++
+			p.curDay = ev.Day
+			p.cur.off = base + cr.n - int64(br.Buffered())
+		}
+	}
+
+	finalized := footOff >= 0 && anomaly == nil &&
+		p.cur.off == eventsEnd && p.cur.count == p.headerCount
+	return p.snapshot(finalized, anomaly), nil
+}
+
+// snapshot renders the probe's current state.
+func (p *TailProbe) snapshot(finalized bool, anomaly error) *TailSnapshot {
+	s := &TailSnapshot{
+		Path:           p.path,
+		Anomaly:        anomaly,
+		FrontierDay:    p.curDay,
+		FrontierEvents: int64(p.cur.count),
+		FrontierOffset: p.cur.off,
+		start:          p.start,
+	}
+	if p.cur.count == 0 {
+		s.FrontierDay = -1
+	}
+	switch {
+	case finalized:
+		s.Finalized = true
+		s.Meta = p.headerMeta
+		s.SealedDay = p.headerMeta.Days - 1
+		s.Events = int64(p.cur.count)
+		s.EndOffset = p.cur.off
+		s.index = p.index[:len(p.index):len(p.index)]
+	case !p.sealedValid:
+		// Trusted-finalized file reopened for append, no new day barrier
+		// yet: the pre-append header still vouches for every event we
+		// have seen (the frontier equals its count), so everything
+		// through its last day stays sealed.
+		s.Meta = p.headerMeta
+		s.SealedDay = p.headerMeta.Days - 1
+		s.Events = int64(p.cur.count)
+		s.EndOffset = p.cur.off
+		s.index = p.index[:len(p.index):len(p.index)]
+	case p.trailingDay < 0:
+		// No complete event yet: nothing is sealed.
+		s.SealedDay = -1
+		s.Meta = Meta{MergeDay: -1, Seed: p.headerMeta.Seed}
+		s.EndOffset = p.start
+	default:
+		m := p.sealedMeta
+		// Days is set from the barrier, not the counters: event-free days
+		// between the last sealed event and the trailing day are complete
+		// too.
+		m.Days = p.trailingDay
+		m.Seed = p.headerMeta.Seed
+		m.MergeDay = -1
+		if hd := p.headerMeta.MergeDay; hd >= 0 && hd < p.trailingDay {
+			m.MergeDay = hd
+		}
+		s.Meta = m
+		s.SealedDay = p.trailingDay - 1
+		s.Events = int64(p.sealed.count)
+		s.EndOffset = p.sealed.off
+		// Exclude the trailing (unsealed) day's index entry.
+		k := len(p.index)
+		if k > 0 && p.index[k-1].Event >= p.sealed.count {
+			k--
+		}
+		s.index = p.index[:k:k]
+	}
+	return s
+}
+
+// parseStreamHeader reads the trace header (either layout) and returns
+// its meta, declared count, and the byte offset of the first event.
+func parseStreamHeader(f *os.File) (Meta, uint64, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return Meta{}, 0, 0, err
+	}
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
+	dec, err := NewDecoder(br)
+	if err != nil {
+		return Meta{}, 0, 0, err
+	}
+	return dec.Meta(), dec.Events(), cr.n - int64(br.Buffered()), nil
+}
+
+// TailSnapshot is one probe's view of a growing trace: the sealed prefix
+// (serveable) and the decode frontier (diagnostic). Snapshots are
+// immutable; Source adapts the sealed prefix to the analysis data plane.
+type TailSnapshot struct {
+	// Path is the probed file.
+	Path string
+	// Meta describes the sealed prefix: Days = SealedDay+1, counters
+	// accumulated over exactly the sealed events, Seed (and MergeDay,
+	// once the merge day is sealed) from the file header. For a
+	// Finalized file it is the header meta verbatim.
+	Meta Meta
+	// SealedDay is the last complete day, -1 when nothing is sealed yet.
+	SealedDay int32
+	// Events is the number of events in the sealed prefix.
+	Events int64
+	// EndOffset is the byte offset where the sealed prefix ends.
+	EndOffset int64
+	// Finalized reports that the writer's Close has run: header and
+	// footer are consistent and every day — including the last — is
+	// sealed.
+	Finalized bool
+	// FrontierDay/FrontierEvents/FrontierOffset locate the decode
+	// frontier: the last complete event observed, sealed or not.
+	// FrontierDay is -1 before any event.
+	FrontierDay    int32
+	FrontierEvents int64
+	FrontierOffset int64
+	// Anomaly is a tail decode failure that a live writer cannot
+	// explain (corruption past the sealed prefix). The sealed prefix
+	// itself is unaffected.
+	Anomaly error
+
+	start int64
+	index []DayIndexEntry
+}
+
+// Source adapts the sealed prefix to a MetaSource. Cursors decode the
+// underlying file bounded by the snapshot's event count, so a writer
+// appending past the sealed prefix — or finalizing the file — never
+// perturbs an open pass. Returns nil when the snapshot holds no sealed
+// events.
+func (s *TailSnapshot) Source() MetaSource {
+	if s.Events <= 0 {
+		return nil
+	}
+	return &tailSource{
+		path:   s.Path,
+		meta:   s.Meta,
+		start:  s.start,
+		events: uint64(s.Events),
+		index:  s.index,
+	}
+}
+
+// tailSource replays the sealed prefix of a (possibly still growing)
+// trace file. It is the same out-of-core data plane as FileSource with
+// two differences: the meta and event count come from the tail probe's
+// sealed snapshot rather than the file header, and every cursor is
+// count-bounded so bytes past the sealed prefix are never decoded.
+type tailSource struct {
+	path   string
+	meta   Meta
+	start  int64
+	events uint64
+	index  []DayIndexEntry
+}
+
+// Meta implements MetaSource with the sealed-prefix metadata.
+func (s *tailSource) Meta() Meta { return s.meta }
+
+// Open implements Source.
+func (s *tailSource) Open() (Cursor, error) { return s.openFrom(s.start, 0, 0) }
+
+// OpenAt implements DaySeeker via the snapshot's observed day index. A
+// nil index (a Frozen view of an index-less file) falls back to
+// decode-and-discard of the prefix, like FileSource.
+func (s *tailSource) OpenAt(day int32) (Cursor, error) {
+	if day <= 0 {
+		return s.Open()
+	}
+	if s.index == nil {
+		cur, err := s.Open()
+		if err != nil {
+			return nil, err
+		}
+		skipped, err := skipToDay(cur, day)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		return skipped, nil
+	}
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].Day >= day })
+	if i == len(s.index) {
+		// Past the last sealed day with events: an exhausted cursor.
+		return &sliceCursor{}, nil
+	}
+	e := s.index[i]
+	return s.openFrom(e.Offset, e.Event, e.PrevDay)
+}
+
+// openFrom opens a cursor at an event boundary: byte offset off, with
+// skipped events before it and day watermark prevDay in force.
+func (s *tailSource) openFrom(off int64, skipped uint64, prevDay int32) (Cursor, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	cr := &countingReader{r: f}
+	dec := resumeDecoder(bufio.NewReader(cr), s.meta, s.events-skipped, prevDay)
+	return &fileCursor{f: f, cr: cr, dec: dec}, nil
+}
+
+// eventsThrough counts sealed events with Day <= day; the EventsThrough
+// dispatch in source.go routes here, which is what lets the checkpoint
+// plane's consistency probe work against a sealed tail.
+func (s *tailSource) eventsThrough(day int32) (int64, bool) {
+	if s.index == nil {
+		return 0, false
+	}
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].Day > day })
+	if i == len(s.index) {
+		return int64(s.events), true
+	}
+	return int64(s.index[i].Event), true
+}
