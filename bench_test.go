@@ -806,6 +806,147 @@ func BenchmarkIncrementalResume(b *testing.B) {
 	}
 }
 
+// BenchmarkStorage is the tiered storage plane's headline (DESIGN.md
+// §10), in three measurements over the same generated workload:
+//
+//   - container size: the flat encoding versus the compressed segmented
+//     container (logged as a ratio; the acceptance bar is well under
+//     half at the default preset's event density),
+//   - replay: the metrics stage over the flat file versus the segmented
+//     one — the decode-ahead goroutine's job is to keep the segmented
+//     replay within a few percent of flat,
+//   - checkpoints: a tiered run (1 full : 3 deltas) logging per-object
+//     bytes and write latency from the CheckpointStat observer, deltas
+//     versus fulls.
+//
+// Both replay arms are verified bit-identical before timing. Defaults to
+// gen.DefaultConfig scale; -short swaps in the test-scale preset for the
+// CI smoke. BENCH_storage.json tracks the datapoints.
+func BenchmarkStorage(b *testing.B) {
+	gcfg := gen.DefaultConfig()
+	if testing.Short() {
+		gcfg = gen.SmallConfig()
+	}
+	dir := b.TempDir()
+	flatPath := filepath.Join(dir, "flat.trace")
+	segPath := filepath.Join(dir, "seg.trace")
+	if _, err := gen.GenerateToFile(gcfg, flatPath); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := gen.GenerateToSegFile(gcfg, segPath); err != nil {
+		b.Fatal(err)
+	}
+	flatInfo, err := os.Stat(flatPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segInfo, err := os.Stat(segPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("container bytes: flat %d, segmented %d (%.1f%% of flat)",
+		flatInfo.Size(), segInfo.Size(), 100*float64(segInfo.Size())/float64(flatInfo.Size()))
+
+	flatSrc, err := trace.OpenFileSource(flatPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segSrc, err := trace.OpenTrace(segPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The metrics stage keeps the replay decode-bound enough that the
+	// decompression overhead can't hide behind snapshot-day analysis.
+	cfg := core.DefaultConfig()
+	cfg.DeltaSweep = nil
+	cfg.SkipEvolution = true
+	cfg.SkipCommunity = true
+	cfg.SkipMerge = true
+
+	// Equivalence outside the timers: the segmented replay must serve
+	// the same tables as the flat one.
+	flatRes, err := core.RunPlan(context.Background(), flatSrc, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segRes, err := core.RunPlan(context.Background(), segSrc, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []string{"fig1a", "fig1c", "fig1f"} {
+		ft, ferr := flatRes.Figure(id)
+		st, serr := segRes.Figure(id)
+		if ferr != nil || serr != nil {
+			b.Fatalf("%s: %v / %v", id, ferr, serr)
+		}
+		if !reflect.DeepEqual(ft, st) {
+			b.Fatalf("%s: segmented replay diverged from flat", id)
+		}
+	}
+
+	for _, arm := range []struct {
+		name string
+		src  trace.MetaSource
+	}{{"ReplayFlat", flatSrc}, {"ReplaySegmented", segSrc}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunPlan(context.Background(), arm.src, cfg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// The tiered checkpoint arm, at the incremental workflow's weekly
+	// cadence so each delta spans 7 days of growth and sits next to
+	// fulls of comparable graph age (a 90-day cadence would compare a
+	// delta against a full written when the compounding graph was a
+	// fraction of the size). Retention bounds the directory as the run
+	// advances. Per-object sizes and write latencies come from the
+	// observer, not the (whole-run) benchmark timer.
+	b.Run("TieredCheckpoints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ccfg := cfg
+			ccfg.CheckpointDir = filepath.Join(b.TempDir(), "ck")
+			ccfg.CheckpointEvery = 7
+			ccfg.CheckpointFullEvery = 4
+			ccfg.CheckpointKeep = 2
+			var stats []core.CheckpointStat
+			ccfg.CheckpointObserver = func(s core.CheckpointStat) { stats = append(stats, s) }
+			if _, err := core.RunPlan(context.Background(), segSrc, ccfg, nil); err != nil {
+				b.Fatal(err)
+			}
+			if i != 0 {
+				continue
+			}
+			var fulls, deltas int64
+			var fullBytes, deltaBytes int64
+			var fullMS, deltaMS float64
+			for _, s := range stats {
+				if s.Delta {
+					deltas++
+					deltaBytes += s.Bytes
+					deltaMS += float64(s.Elapsed.Nanoseconds()) / 1e6
+				} else {
+					fulls++
+					fullBytes += s.Bytes
+					fullMS += float64(s.Elapsed.Nanoseconds()) / 1e6
+				}
+			}
+			if fulls == 0 || deltas == 0 {
+				b.Fatalf("tiered cadence wrote %d fulls, %d deltas", fulls, deltas)
+			}
+			last := stats[len(stats)-1]
+			b.Logf("checkpoints: %d fulls avg %d bytes %.1fms, %d deltas avg %d bytes %.1fms (delta/full = %.1f%%); last: day %d delta=%v %d bytes",
+				fulls, fullBytes/fulls, fullMS/float64(fulls),
+				deltas, deltaBytes/deltas, deltaMS/float64(deltas),
+				100*float64(deltaBytes/deltas)/float64(fullBytes/fulls),
+				last.Day, last.Delta, last.Bytes)
+		}
+	})
+}
+
 // Silence unused-import gymnastics for packages used only in some benches.
 var _ = community.FeatureCount
 

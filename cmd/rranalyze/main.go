@@ -8,6 +8,7 @@
 //	rranalyze -trace renren.trace -out figures/ -only fig3c,fig5a
 //	rranalyze -trace renren.trace -out figures/ -deltas 0.0001,0.01,0.04,0.1,0.3
 //	rranalyze -trace renren.trace -validate -progress -out figures/
+//	rranalyze -trace renren.seg -info -checkpoint-dir ckpts  # trace stats + checkpoint inventory
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -39,7 +41,10 @@ func main() {
 	progress := flag.Bool("progress", false, "write a day/event progress line to stderr while the shared pass replays")
 	checkpointDir := flag.String("checkpoint-dir", "", "write pipeline checkpoints into this directory at the -checkpoint-every cadence")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
+	checkpointFullEvery := flag.Int("checkpoint-full-every", 0, "tiered cadence: of every N checkpoints write 1 full and N-1 deltas against their predecessor (<=1 = all full)")
+	checkpointKeep := flag.Int("checkpoint-keep", 0, "retain only the newest N full checkpoints (plus their delta chains) under this config's fingerprint (0 = keep everything)")
 	resume := flag.Bool("resume", false, "resume from the latest compatible checkpoint in -checkpoint-dir instead of replaying from day 0")
+	info := flag.Bool("info", false, "print trace stats (segment/compression figures for segmented traces) and the -checkpoint-dir inventory, then exit")
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence in days (0 = default 3)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel shared pass and all fan-out work (results are bit-identical at any count)")
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
@@ -56,10 +61,15 @@ func main() {
 		log.Fatal(err)
 	}
 	// The trace is never loaded: every analysis pass streams it off disk
-	// through a FileSource cursor, so memory stays O(state).
-	src, err := trace.OpenFileSource(*tracePath)
+	// through a cursor, so memory stays O(state). OpenTrace sniffs the
+	// magic, so flat and compressed segmented traces both analyze.
+	src, err := trace.OpenTrace(*tracePath)
 	if err != nil {
 		log.Fatalf("open: %v", err)
+	}
+	if *info {
+		printInfo(src, *tracePath, *checkpointDir)
+		return
 	}
 	if *validate {
 		if err := trace.ValidateSource(src); err != nil {
@@ -122,6 +132,8 @@ func main() {
 	}
 	cfg.CheckpointDir = *checkpointDir
 	cfg.CheckpointEvery = int32(*checkpointEvery)
+	cfg.CheckpointFullEvery = *checkpointFullEvery
+	cfg.CheckpointKeep = *checkpointKeep
 	cfg.Resume = *resume
 
 	// An explicit -only list plans the minimal stage set; otherwise a nil
@@ -180,6 +192,47 @@ func main() {
 		written++
 	}
 	fmt.Printf("wrote %d figure tables to %s\n", written, *outDir)
+}
+
+// printInfo renders the -info report: trace identity, storage shape
+// (segment and compression figures when the trace is segmented), and the
+// checkpoint inventory when -checkpoint-dir names one.
+func printInfo(src trace.MetaSource, path, ckptDir string) {
+	meta := src.Meta()
+	fmt.Printf("trace %s\n", path)
+	fmt.Printf("  days %d, nodes %d (%d xiaonei / %d 5q / %d new), edges %d, merge day %d, seed %d\n",
+		meta.Days, meta.Nodes, meta.Xiaonei, meta.FiveQ, meta.NewUsers, meta.Edges, meta.MergeDay, meta.Seed)
+	if sf, ok := src.(interface{ Stats() trace.SegStats }); ok {
+		s := sf.Stats()
+		ratio := 0.0
+		if s.RawBytes > 0 {
+			ratio = 100 * float64(s.CompressedBytes) / float64(s.RawBytes)
+		}
+		fmt.Printf("  format segmented: %d segments, %d events, %d bytes raw -> %d compressed (%.1f%%), day index %v\n",
+			s.Segments, s.Events, s.RawBytes, s.CompressedBytes, ratio, s.Indexed)
+	} else {
+		fmt.Println("  format flat")
+	}
+	if ckptDir == "" {
+		return
+	}
+	infos, err := core.ListCheckpoints(storage.NewDirBackend(ckptDir))
+	if err != nil {
+		log.Fatalf("checkpoint inventory: %v", err)
+	}
+	fmt.Printf("checkpoints %s (%d objects)\n", ckptDir, len(infos))
+	for _, ci := range infos {
+		kind := "full"
+		if ci.Delta {
+			kind = fmt.Sprintf("delta of day %d", ci.ParentDay)
+		}
+		line := fmt.Sprintf("  %-24s day %4d  %10d bytes  fingerprint %016x  %s",
+			ci.Name, ci.Day, ci.Size, ci.ConfigHash, kind)
+		if ci.Err != "" {
+			line = fmt.Sprintf("  %-24s day %4d  %10d bytes  UNREADABLE: %s", ci.Name, ci.Day, ci.Size, ci.Err)
+		}
+		fmt.Println(line)
+	}
 }
 
 // parseDays parses -dist-days, defaulting to three evenly spaced days in

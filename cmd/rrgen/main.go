@@ -9,6 +9,7 @@
 //	rrgen -preset default -merge-day 300 -out early.trace
 //	rrgen -preset large -out big.trace -check   # validate off disk after writing
 //	rrgen -preset default -days 801 -append -out renren.trace  # extend in place: days 771..800 appended
+//	rrgen -preset default -compress -out renren.seg  # compressed segmented container (immutable)
 //
 // -append extends an existing trace file in place instead of rewriting
 // it: the prefix days are verified against a re-simulation (any config
@@ -39,6 +40,7 @@ func main() {
 	mergeDay := flag.Int("merge-day", 0, "override the 5Q merge day on the chosen preset (0 = preset value; must be < -days and needs a preset with a merge)")
 	out := flag.String("out", "renren.trace", "output file")
 	appendMode := flag.Bool("append", false, "extend the existing -out file in place to the longer -days horizon (same seed and knobs; only the new days are simulated onto disk)")
+	compress := flag.Bool("compress", false, "write the compressed segmented container instead of the flat format (typically well under half the size; replays everywhere, but cannot be -append-extended later)")
 	check := flag.Bool("check", false, "stream-validate the written trace's structural invariants (one extra pass off disk)")
 	flag.Parse()
 
@@ -87,13 +89,19 @@ func main() {
 	var m trace.Meta
 	var err error
 	verb := "wrote"
-	if *appendMode {
+	switch {
+	case *appendMode:
 		if *days <= 0 {
 			log.Fatal("-append needs -days set past the existing file's horizon")
 		}
+		if *compress {
+			log.Fatal("-append and -compress are mutually exclusive: segmented traces are immutable once finalized")
+		}
 		m, err = gen.AppendToFile(cfg, *out)
 		verb = "extended"
-	} else {
+	case *compress:
+		m, err = gen.GenerateToSegFile(cfg, *out)
+	default:
 		m, err = gen.GenerateToFile(cfg, *out)
 	}
 	if err != nil {
@@ -104,8 +112,9 @@ func main() {
 
 	if *check {
 		// Validation replays the file through a cursor, so even the large
-		// preset's ~10^7 events are checked in O(state) memory.
-		fs, err := trace.OpenFileSource(*out)
+		// preset's ~10^7 events are checked in O(state) memory. OpenTrace
+		// sniffs the magic, so flat and segmented outputs both validate.
+		fs, err := trace.OpenTrace(*out)
 		if err != nil {
 			log.Fatalf("check: %v", err)
 		}

@@ -20,6 +20,13 @@
 //
 //	rrserved -trace renren.trace -checkpoint-dir ckpts -follow -poll 2s
 //
+// The tiered checkpoint cadence keeps the state plane's footprint flat
+// under -follow: most checkpoints become small deltas against their
+// predecessor, and retention prunes chains the resume can no longer pick:
+//
+//	rrserved -trace renren.trace -checkpoint-dir ckpts -follow \
+//	    -checkpoint-full-every 4 -checkpoint-keep 2
+//
 // See DESIGN.md §8 for the serving architecture and §9 for the live
 // ingest plane.
 package main
@@ -49,6 +56,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpointed state plane: resume the warm pass from here and write new checkpoints as it advances")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days (0 = default 90; needs -checkpoint-dir)")
+	checkpointFullEvery := flag.Int("checkpoint-full-every", 0, "tiered cadence: of every N checkpoints write 1 full and N-1 deltas against their predecessor (<=1 = all full)")
+	checkpointKeep := flag.Int("checkpoint-keep", 0, "retain only the newest N full checkpoints (plus their delta chains) under this config's fingerprint (0 = keep everything)")
 	deltas := flag.String("deltas", "0.0001,0.01,0.04,0.1,0.3", "warm Louvain δ grid for the fig4 panels; requests with other δ-sets run cold plans")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for plan execution")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache cap in MiB")
@@ -106,7 +115,10 @@ func main() {
 		}
 		meta = src.Meta()
 	} else {
-		src, err := trace.OpenFileSource(*tracePath)
+		// OpenTrace sniffs the magic: flat and compressed segmented
+		// traces are both servable (the latter only finalized, so not
+		// under -follow, which tails a growing flat file).
+		src, err := trace.OpenTrace(*tracePath)
 		if err != nil {
 			log.Error("open trace", "err", err)
 			os.Exit(1)
@@ -137,12 +149,14 @@ func main() {
 		"trace", *tracePath, "days", meta.Days, "nodes", meta.Nodes, "edges", meta.Edges,
 		"checkpoint_dir", *checkpointDir)
 	srv, err := serve.NewServer(ctx, serve.Options{
-		TracePath:     *tracePath,
-		CheckpointDir: *checkpointDir,
-		Config:        cfg,
-		CacheBytes:    *cacheMB << 20,
-		Log:           log,
-		Open:          openSealed, // nil outside -follow: default finalized-file probe
+		TracePath:           *tracePath,
+		CheckpointDir:       *checkpointDir,
+		CheckpointFullEvery: *checkpointFullEvery,
+		CheckpointKeep:      *checkpointKeep,
+		Config:              cfg,
+		CacheBytes:          *cacheMB << 20,
+		Log:                 log,
+		Open:                openSealed, // nil outside -follow: default finalized-file probe
 	})
 	if err != nil {
 		log.Error("load", "err", err)

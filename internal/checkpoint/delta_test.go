@@ -1,0 +1,206 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// deltaEvents is a replay long enough to produce grown old nodes, new
+// nodes, and multi-day structure across three cut points.
+func deltaEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.AddNode, Day: 0, U: 0, Origin: trace.OriginXiaonei},
+		{Kind: trace.AddNode, Day: 0, U: 1, Origin: trace.OriginFiveQ},
+		{Kind: trace.AddEdge, Day: 0, U: 0, V: 1},
+		{Kind: trace.AddNode, Day: 1, U: 2, Origin: trace.OriginNew},
+		{Kind: trace.AddEdge, Day: 1, U: 2, V: 0},
+		// cut 1: 3 nodes, 2 edges, day 1
+		{Kind: trace.AddEdge, Day: 2, U: 1, V: 2},
+		{Kind: trace.AddNode, Day: 3, U: 3, Origin: trace.OriginXiaonei},
+		{Kind: trace.AddEdge, Day: 3, U: 3, V: 1},
+		// cut 2: 4 nodes, 4 edges, day 3
+		{Kind: trace.AddNode, Day: 4, U: 4, Origin: trace.OriginFiveQ},
+		{Kind: trace.AddEdge, Day: 4, U: 4, V: 3},
+		{Kind: trace.AddEdge, Day: 5, U: 4, V: 0},
+		// cut 3: 5 nodes, 6 edges, day 5
+	}
+}
+
+func replayed(t *testing.T, events []trace.Event) *trace.State {
+	t.Helper()
+	st := trace.NewState(8, 16)
+	for _, ev := range events {
+		if err := st.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestDeltaDiffApplyChain is the delta plane's correctness core: diff at
+// two cut points, serialize, decode, apply the chain onto the base — the
+// result must be element-identical to the directly replayed state,
+// including adjacency order.
+func TestDeltaDiffApplyChain(t *testing.T) {
+	events := deltaEvents()
+	base := replayed(t, events[:5])
+	mid := replayed(t, events[:8])
+	tip := replayed(t, events)
+
+	p1, err := DiffState(base.Graph.NumNodes(), Degrees(base), mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DiffState(mid.Graph.NumNodes(), Degrees(mid), tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.NewAdj) != 1 || len(p1.Grown) == 0 {
+		t.Fatalf("patch 1 shape: %d new, %d grown", len(p1.NewAdj), len(p1.Grown))
+	}
+
+	// Serialize and decode both deltas.
+	h := DeltaHeader{Day: 3, ParentDay: 1, ParentSum: 42, ConfigHash: 7, Stages: []string{"a", "b"}}
+	blobs := []DeltaBlob{{Name: "a", Changed: true, Data: []byte("blob-a")}, {Name: "b"}}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, h, p1, blobs); err != nil {
+		t.Fatal(err)
+	}
+	df, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Header.Day != h.Day || df.Header.ParentDay != h.ParentDay ||
+		df.Header.ParentSum != h.ParentSum || df.Header.ConfigHash != h.ConfigHash {
+		t.Fatalf("header round trip: %+v vs %+v", df.Header, h)
+	}
+	if len(df.Header.Stages) != 2 || df.Header.Stages[0] != "a" || df.Header.Stages[1] != "b" {
+		t.Fatalf("stages round trip: %v", df.Header.Stages)
+	}
+	if !df.Blobs[0].Changed || string(df.Blobs[0].Data) != "blob-a" || df.Blobs[1].Changed {
+		t.Fatalf("blobs round trip: %+v", df.Blobs)
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteDelta(&buf2, DeltaHeader{Day: 5, ParentDay: 3, Stages: []string{"a", "b"}}, p2,
+		[]DeltaBlob{{Name: "a"}, {Name: "b", Changed: true, Data: []byte("blob-b2")}}); err != nil {
+		t.Fatal(err)
+	}
+	df2, err := ReadDelta(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewStateBuilder(base)
+	if err := b.Apply(df.Patch); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(df2.Patch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, tip)
+}
+
+// TestDeltaEmptyPatch: a quiet interval (no new nodes or edges, day
+// advanced) still round-trips.
+func TestDeltaEmptyPatch(t *testing.T) {
+	events := deltaEvents()
+	st := replayed(t, events[:5])
+	p, err := DiffState(st.Graph.NumNodes(), Degrees(st), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Grown) != 0 || len(p.NewAdj) != 0 {
+		t.Fatalf("self-diff not empty: %+v", p)
+	}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, DeltaHeader{Day: st.Day, ParentDay: st.Day}, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	df, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewStateBuilder(st)
+	if err := b.Apply(df.Patch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, st)
+}
+
+// TestDiffStateRejectsNonExtension: pairing the wrong states must fail
+// loudly, not produce a garbage patch.
+func TestDiffStateRejectsNonExtension(t *testing.T) {
+	events := deltaEvents()
+	small := replayed(t, events[:5])
+	big := replayed(t, events)
+	if _, err := DiffState(big.Graph.NumNodes(), Degrees(big), small); err == nil {
+		t.Fatal("shrinking diff accepted")
+	}
+	deg := Degrees(small)
+	deg[0] += 5 // parent claims more neighbors than the child has
+	if _, err := DiffState(small.Graph.NumNodes(), deg, small); err == nil {
+		t.Fatal("degree-shrink diff accepted")
+	}
+}
+
+// TestApplyRejectsMismatchedChain: a patch applied out of order fails.
+func TestApplyRejectsMismatchedChain(t *testing.T) {
+	events := deltaEvents()
+	base := replayed(t, events[:5])
+	tip := replayed(t, events)
+	p, err := DiffState(base.Graph.NumNodes(), Degrees(base), tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewStateBuilder(tip) // wrong base: node counts differ
+	if err := b.Apply(p); err == nil {
+		t.Fatal("mismatched patch accepted")
+	}
+}
+
+// TestDeltaDecodeHardening: magic confusion and corruption surface as
+// the package's typed errors, never panics.
+func TestDeltaDecodeHardening(t *testing.T) {
+	events := deltaEvents()
+	base := replayed(t, events[:5])
+	tip := replayed(t, events)
+	p, err := DiffState(base.Graph.NumNodes(), Degrees(base), tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, DeltaHeader{Day: 5, ParentDay: 1, Stages: []string{"s"}}, p,
+		[]DeltaBlob{{Name: "s", Changed: true, Data: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// A full-container magic is not a delta.
+	if _, err := ReadDeltaHeader(bytes.NewReader([]byte("RRC1xxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("full magic read as delta: %v", err)
+	}
+	// Truncations at every prefix length fail typed, never panic.
+	for n := 0; n < len(good); n += 7 {
+		if _, err := ReadDelta(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// A flipped end magic is corruption.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := ReadDelta(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad end magic: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/osnmerge"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -93,6 +94,29 @@ type Config struct {
 	// CheckpointEvery is the checkpoint cadence in days; <= 0 defaults to
 	// 90 when CheckpointDir is set.
 	CheckpointEvery int32
+	// CheckpointFullEvery is the tiered-storage cadence: of every N
+	// checkpoints, the first is a full container and the following N-1
+	// are deltas against their predecessor — changed stage blobs plus
+	// the appended graph ranges only. <= 1 writes only full checkpoints
+	// (the historic behavior). Like every storage knob it is excluded
+	// from the compatibility fingerprint: full and delta checkpoints of
+	// the same run interoperate freely.
+	CheckpointFullEvery int
+	// CheckpointKeep bounds retention: after each checkpoint write, all
+	// but the newest N full checkpoints under this run's fingerprint
+	// (plus the deltas chained above the oldest kept full) are deleted
+	// from the backend. <= 0 keeps everything. Checkpoints written under
+	// other fingerprints are never touched.
+	CheckpointKeep int
+	// CheckpointBackend overrides where checkpoints are written and
+	// resolved from; nil uses a DirBackend rooted at CheckpointDir. An
+	// explicit backend makes CheckpointDir optional.
+	CheckpointBackend storage.Backend
+	// CheckpointObserver, when non-nil, is invoked after every
+	// successful checkpoint write with the written object's stats — the
+	// serving daemon's /statz storage section hangs off it. Called on
+	// the replay goroutine; it must not block.
+	CheckpointObserver func(CheckpointStat)
 	// Resume makes RunPlan restore the latest compatible checkpoint in
 	// CheckpointDir — same stage set and config fingerprint, checkpoint
 	// day within the trace — and replay only the days after it. Any

@@ -12,6 +12,7 @@ import (
 	"repro/internal/evolution"
 	"repro/internal/metrics"
 	"repro/internal/osnmerge"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -496,10 +497,17 @@ type planExec struct {
 	rt   *planRT
 	eng  *engine.Engine
 
-	// ckptHash and ckptNames identify compatible checkpoints when
-	// Config.CheckpointDir is set (armCheckpoints).
+	// backend, ckptHash, and ckptNames identify where checkpoints live
+	// and which are compatible, when checkpointing is armed
+	// (armCheckpoints).
+	backend   storage.Backend
 	ckptHash  uint64
 	ckptNames []string
+
+	// parent summarizes the last checkpoint this run wrote or restored —
+	// what the next delta checkpoint is diffed against (nil until the
+	// first full is written; writes fall back to full without it).
+	parent *ckptParent
 
 	// resumeState/resumeDay carry a restored checkpoint into run: the
 	// shared state at the end of resumeDay, with every subscribed stage
@@ -608,9 +616,10 @@ func runPlan(ctx context.Context, src trace.Source, meta trace.Meta, cfg Config,
 		ctx = context.Background()
 	}
 	x := plan.instantiate(cfg, meta)
-	if cfg.Resume && cfg.CheckpointDir != "" && x.eng.Stages() > 0 {
-		// Restore the newest compatible checkpoint; tolerant of another
-		// process rotating the directory mid-scan (see resolveResume).
+	if cfg.Resume && x.backend != nil && x.eng.Stages() > 0 {
+		// Restore the newest compatible checkpoint chain; tolerant of
+		// another process rotating the backend mid-scan (see
+		// resolveResume).
 		x = resolveResume(plan, x, src, meta, cfg)
 	}
 	return x.run(ctx, src)

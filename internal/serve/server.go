@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,15 @@ type Options struct {
 	// new ones as it advances, so a daemon restart (and every refresh)
 	// replays only the days past the last checkpoint.
 	CheckpointDir string
+	// CheckpointFullEvery sets the tiered cadence of the warm pass's
+	// checkpoints: of every N, 1 is a full container and N-1 are deltas
+	// against their predecessor (<=1 = every checkpoint is full).
+	CheckpointFullEvery int
+	// CheckpointKeep bounds the checkpoint directory: after each write
+	// the warm pass retains only the newest N full checkpoints (plus the
+	// delta chains riding on them) under its fingerprint (<=0 = keep
+	// everything).
+	CheckpointKeep int
 	// Config is the pipeline configuration of the warm plan. Its
 	// DeltaSweep is the warm δ grid: requests without a delta parameter
 	// (or with exactly this grid) are served from the snapshot; any
@@ -131,6 +141,11 @@ type Server struct {
 	statzMu    sync.Mutex
 	statzExtra map[string]func() any
 
+	// lastCkpt is the newest checkpoint write the warm pass reported,
+	// surfaced in the /statz storage section.
+	ckptMu   sync.Mutex
+	lastCkpt *core.CheckpointStat
+
 	start     time.Time
 	requests  atomic.Int64
 	refreshes atomic.Int64
@@ -164,16 +179,19 @@ func NewServer(ctx context.Context, opt Options) (*Server, error) {
 		start:      time.Now(),
 		runFigures: core.RunFigures,
 	}
+	s.RegisterStatz("storage", s.storageStats)
 	s.open = opt.Open
 	if s.open == nil {
 		// Frozen: the snapshot's source must keep replaying the days the
 		// snapshot was computed from even while a writer grows the file.
+		// OpenTrace sniffs the magic, so the daemon serves flat and
+		// compressed segmented traces alike.
 		s.open = func() (trace.MetaSource, error) {
-			fs, err := trace.OpenFileSource(opt.TracePath)
+			tf, err := trace.OpenTrace(opt.TracePath)
 			if err != nil {
 				return nil, err
 			}
-			return fs.Frozen(), nil
+			return tf.Frozen(), nil
 		}
 	}
 	src, err := s.open()
@@ -222,7 +240,12 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Server) warmConfig() core.Config {
 	cfg := s.opt.Config
 	cfg.CheckpointDir = s.opt.CheckpointDir
+	cfg.CheckpointFullEvery = s.opt.CheckpointFullEvery
+	cfg.CheckpointKeep = s.opt.CheckpointKeep
 	cfg.Resume = cfg.CheckpointDir != ""
+	if cfg.CheckpointDir != "" || cfg.CheckpointBackend != nil {
+		cfg.CheckpointObserver = s.observeCheckpoint
+	}
 	return cfg
 }
 
@@ -235,6 +258,10 @@ func (s *Server) coldConfig(deltas []float64) core.Config {
 	cfg.DeltaSweep = append([]float64(nil), deltas...)
 	cfg.CheckpointDir = ""
 	cfg.CheckpointEvery = 0
+	cfg.CheckpointFullEvery = 0
+	cfg.CheckpointKeep = 0
+	cfg.CheckpointBackend = nil
+	cfg.CheckpointObserver = nil
 	cfg.Resume = false
 	cfg.OnProgress = nil
 	return cfg
@@ -515,6 +542,77 @@ func (s *Server) RegisterStatz(name string, fn func() any) {
 	s.statzMu.Lock()
 	defer s.statzMu.Unlock()
 	s.statzExtra[name] = fn
+}
+
+// observeCheckpoint records the warm pass's newest checkpoint write for
+// the /statz storage section. It runs on the replay goroutine, so it
+// only stores the stat under a mutex.
+func (s *Server) observeCheckpoint(st core.CheckpointStat) {
+	s.ckptMu.Lock()
+	s.lastCkpt = &st
+	s.ckptMu.Unlock()
+}
+
+// storageStats renders the /statz "storage" section: the trace
+// container's compression accounting (when segmented), the checkpoint
+// backend's inventory, and the last checkpoint write's size and latency.
+func (s *Server) storageStats() any {
+	out := map[string]any{}
+	if snap := s.snap.Load(); snap != nil {
+		if sf, ok := snap.Src.(interface{ Stats() trace.SegStats }); ok {
+			st := sf.Stats()
+			ratio := 0.0
+			if st.RawBytes > 0 {
+				ratio = float64(st.CompressedBytes) / float64(st.RawBytes)
+			}
+			out["trace"] = map[string]any{
+				"format":            "segmented",
+				"segments":          st.Segments,
+				"raw_bytes":         st.RawBytes,
+				"compressed_bytes":  st.CompressedBytes,
+				"compression_ratio": ratio,
+			}
+		} else {
+			out["trace"] = map[string]any{"format": "flat"}
+		}
+	}
+	if dir := s.opt.CheckpointDir; dir != "" {
+		ck := map[string]any{"dir": dir}
+		if infos, err := core.ListCheckpoints(storage.NewDirBackend(dir)); err != nil {
+			ck["error"] = err.Error()
+		} else {
+			var fulls, deltas, unreadable int
+			var size int64
+			for _, ci := range infos {
+				size += ci.Size
+				switch {
+				case ci.Err != "":
+					unreadable++
+				case ci.Delta:
+					deltas++
+				default:
+					fulls++
+				}
+			}
+			ck["objects"] = len(infos)
+			ck["fulls"] = fulls
+			ck["deltas"] = deltas
+			ck["unreadable"] = unreadable
+			ck["bytes"] = size
+		}
+		out["checkpoints"] = ck
+	}
+	s.ckptMu.Lock()
+	if st := s.lastCkpt; st != nil {
+		out["last_checkpoint"] = map[string]any{
+			"day":      st.Day,
+			"delta":    st.Delta,
+			"bytes":    st.Bytes,
+			"write_ms": float64(st.Elapsed.Nanoseconds()) / 1e6,
+		}
+	}
+	s.ckptMu.Unlock()
+	return out
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

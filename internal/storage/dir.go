@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirBackend implements Backend over a local directory: objects are
+// files, Put is a temp file renamed into place (the same atomicity the
+// checkpoint writer has always relied on), and ranged reads are served
+// straight off the file. The root is created lazily on the first Put.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend returns a backend rooted at dir. The directory need not
+// exist yet; Put creates it.
+func NewDirBackend(dir string) *DirBackend { return &DirBackend{root: dir} }
+
+// Root returns the backend's root directory.
+func (b *DirBackend) Root() string { return b.root }
+
+// path maps an object name onto the rooted file path.
+func (b *DirBackend) path(name string) (string, error) {
+	if err := ValidateName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(b.root, filepath.FromSlash(name)), nil
+}
+
+// Put implements Backend: write-to-temp then rename, so readers never
+// observe a partial object and a crash leaves at most a stray temp file.
+func (b *DirBackend) Put(name string, data []byte) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Get implements Backend.
+func (b *DirBackend) Get(name string) ([]byte, error) {
+	p, err := b.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// OpenRange implements Backend. The file handle is held by the returned
+// reader, so the bytes read are the object version that existed at open
+// time even if a Put renames a replacement over the name meanwhile.
+func (b *DirBackend) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
+	p, err := b.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("storage: negative offset %d", off)
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		n = fi.Size() - off
+		if n < 0 {
+			n = 0
+		}
+	}
+	return &sectionReadCloser{r: io.NewSectionReader(f, off, n), f: f}, nil
+}
+
+type sectionReadCloser struct {
+	r *io.SectionReader
+	f *os.File
+}
+
+func (s *sectionReadCloser) Read(p []byte) (int, error) { return s.r.Read(p) }
+func (s *sectionReadCloser) Close() error               { return s.f.Close() }
+
+// List implements Backend: a recursive walk under root, reporting slash-
+// separated names relative to it. Temp files from in-flight Puts are
+// filtered by their ".tmp" infix so a concurrent writer never surfaces
+// half an object in a listing.
+func (b *DirBackend) List(prefix string) ([]ObjectInfo, error) {
+	if prefix != "" {
+		// A prefix is a name fragment, not a full name, but the same
+		// escape rules apply to what it can address.
+		if err := ValidateName(strings.TrimSuffix(prefix, "/")); err != nil {
+			return nil, err
+		}
+	}
+	var out []ObjectInfo
+	err := filepath.Walk(b.root, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // an empty backend lists as empty
+			}
+			return err
+		}
+		if fi.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(b.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if !strings.HasPrefix(name, prefix) || strings.Contains(filepath.Base(name), ".tmp") {
+			return nil
+		}
+		out = append(out, ObjectInfo{Name: name, Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete implements Backend; a missing object is not an error.
+func (b *DirBackend) Delete(name string) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirBackendRoundtrip(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	if err := b.Put("a/one.bin", []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := b.Get("a/one.bin")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := b.Put("a/one.bin", []byte("replaced")); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	got, _ = b.Get("a/one.bin")
+	if string(got) != "replaced" {
+		t.Fatalf("Get after replace = %q", got)
+	}
+}
+
+func TestDirBackendGetMissingIsNotExist(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	if _, err := b.Get("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get missing = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := b.OpenRange("nope", 0, -1); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("OpenRange missing = %v, want fs.ErrNotExist", err)
+	}
+	if err := b.Delete("nope"); err != nil {
+		t.Fatalf("Delete missing = %v, want nil", err)
+	}
+}
+
+func TestDirBackendOpenRange(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	if err := b.Put("blob", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := b.OpenRange("blob", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("OpenRange(3,4) = %q, %v", got, err)
+	}
+	rc, err = b.OpenRange("blob", 8, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, _ = io.ReadAll(rc)
+	if string(got) != "89" {
+		t.Fatalf("OpenRange(8,-1) = %q", got)
+	}
+}
+
+func TestDirBackendList(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	for _, n := range []string{"ck/b.ckpt", "ck/a.ckpt", "trace.seg"} {
+		if err := b.Put(n, make([]byte, len(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray temp file from a crashed Put must not list.
+	if err := os.WriteFile(filepath.Join(b.Root(), "ck", "c.ckpt.tmp123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := b.List("ck/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "ck/a.ckpt" || infos[1].Name != "ck/b.ckpt" {
+		t.Fatalf("List(ck/) = %+v", infos)
+	}
+	if infos[0].Size != int64(len("ck/a.ckpt")) {
+		t.Fatalf("Size = %d", infos[0].Size)
+	}
+	all, err := b.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List(\"\") = %+v, %v", all, err)
+	}
+}
+
+func TestDirBackendListEmptyRoot(t *testing.T) {
+	b := NewDirBackend(filepath.Join(t.TempDir(), "never-created"))
+	infos, err := b.List("")
+	if err != nil || len(infos) != 0 {
+		t.Fatalf("List on absent root = %+v, %v", infos, err)
+	}
+}
+
+func TestDirBackendNameValidation(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	for _, bad := range []string{"", "/abs", "../escape", "a/../b", "a//b", ".", "a/.", `a\b`} {
+		if err := b.Put(bad, nil); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+		if _, err := b.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDirBackendPutAtomic(t *testing.T) {
+	// No partial object may ever exist under the target name: after a
+	// Put the directory holds exactly the object (no temp residue).
+	b := NewDirBackend(t.TempDir())
+	if err := b.Put("obj", []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(b.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "obj" {
+		t.Fatalf("root holds %v, want exactly [obj]", entries)
+	}
+}

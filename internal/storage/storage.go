@@ -1,0 +1,81 @@
+// Package storage is the tiered-storage plane's backend abstraction: a
+// small object-store-shaped interface (named blobs, atomic whole-object
+// puts, prefix listing, ranged reads) that the trace segment reader, the
+// checkpoint save/resolve plane, and the serving daemon all go through.
+// Today the one implementation is DirBackend — a local directory with
+// temp-file-plus-rename atomicity — but nothing above this package
+// assumes seekable files, in-place mutation, or POSIX semantics beyond
+// what an object store offers, so a daemon built on it holds no local
+// state it could not re-fetch (DESIGN.md §10).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"strings"
+)
+
+// ErrNotExist is the sentinel for a missing object. Implementations must
+// return errors matching errors.Is(err, fs.ErrNotExist) (this alias) so
+// callers can distinguish "gone" from "broken" — the checkpoint plane's
+// stale-scan rescan logic depends on it.
+var ErrNotExist = fs.ErrNotExist
+
+// ObjectInfo describes one stored object.
+type ObjectInfo struct {
+	// Name is the object's key, relative to the backend root.
+	Name string
+	// Size is the object's byte length.
+	Size int64
+}
+
+// Backend is a flat namespace of immutable-once-written blobs. All
+// methods must be safe for concurrent use.
+//
+// The contract is deliberately object-store shaped:
+//
+//   - Put replaces the whole object atomically: a concurrent Get or
+//     OpenRange observes either the old bytes or the new bytes, never a
+//     mix, and a crash mid-Put never leaves a partial object under name.
+//   - Get and OpenRange return an error matching fs.ErrNotExist for a
+//     missing name.
+//   - List returns objects whose name starts with prefix, in
+//     lexicographic name order.
+//   - Delete of a missing name is not an error (idempotent).
+type Backend interface {
+	// Put atomically writes data under name, replacing any existing
+	// object.
+	Put(name string, data []byte) error
+	// Get reads the whole object.
+	Get(name string) ([]byte, error)
+	// OpenRange streams n bytes of the object starting at byte off;
+	// n < 0 streams to the end. Reading past the end of the object
+	// surfaces as io.EOF/io.ErrUnexpectedEOF from the returned reader,
+	// not from OpenRange itself.
+	OpenRange(name string, off, n int64) (io.ReadCloser, error)
+	// List enumerates objects under prefix in name order.
+	List(prefix string) ([]ObjectInfo, error)
+	// Delete removes the object; deleting a missing name succeeds.
+	Delete(name string) error
+}
+
+// ValidateName rejects keys that could escape a rooted namespace or that
+// an object store would refuse: empty names, absolute paths, "." or ".."
+// segments, and backslashes. Path-style separators ("a/b") are allowed —
+// DirBackend maps them to subdirectories.
+func ValidateName(name string) error {
+	if name == "" {
+		return errors.New("storage: empty object name")
+	}
+	if strings.HasPrefix(name, "/") || strings.Contains(name, "\\") {
+		return fmt.Errorf("storage: invalid object name %q", name)
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("storage: invalid object name %q", name)
+		}
+	}
+	return nil
+}

@@ -71,6 +71,9 @@ func OpenAppend(f *os.File) (*Encoder, error) {
 	if _, err := io.ReadAtLeast(f, hdr, fixedHeaderLen); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrNotAppendable, err)
 	}
+	if [4]byte(hdr[:4]) == segMagic {
+		return nil, fmt.Errorf("%w: segmented (compressed) traces cannot be extended in place; regenerate, or write a fresh segmented trace and tail it", ErrNotAppendable)
+	}
 	meta, count, err := parseFixedHeader(hdr)
 	if err != nil {
 		return nil, err

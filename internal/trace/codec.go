@@ -501,7 +501,17 @@ func (e *Encoder) SetMergeDay(day int32) { e.meta.MergeDay = day }
 // the count slot is filled with continuation bytes that no uvarint reader
 // accepts, poisoning the file until Close back-patches the real count.
 func (e *Encoder) header(final bool) ([]byte, error) {
-	metaJSON, err := json.Marshal(e.meta)
+	return renderFixedHeader(magic, e.meta, e.count, !final)
+}
+
+// renderFixedHeader renders the fixed-width rewritable header layout the
+// streaming encoders (flat and segmented) share: magic, a space-padded
+// meta slot, and a padded-uvarint count slot. With poison set the count
+// slot is filled with continuation bytes no uvarint reader accepts, so a
+// file whose writer crashed before Close fails loudly instead of passing
+// as an empty trace.
+func renderFixedHeader(mag [4]byte, meta Meta, count uint64, poison bool) ([]byte, error) {
+	metaJSON, err := json.Marshal(meta)
 	if err != nil {
 		return nil, err
 	}
@@ -510,8 +520,8 @@ func (e *Encoder) header(final bool) ([]byte, error) {
 	}
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], encMetaPad)
-	hdr := make([]byte, 0, len(magic)+n+encMetaPad+encCountPad)
-	hdr = append(hdr, magic[:]...)
+	hdr := make([]byte, 0, len(mag)+n+encMetaPad+encCountPad)
+	hdr = append(hdr, mag[:]...)
 	hdr = append(hdr, lenBuf[:n]...)
 	pad := make([]byte, encMetaPad)
 	for i := range pad {
@@ -520,12 +530,12 @@ func (e *Encoder) header(final bool) ([]byte, error) {
 	copy(pad, metaJSON)
 	hdr = append(hdr, pad...)
 	var cnt [encCountPad]byte
-	if final {
-		putUvarint10(cnt[:], e.count)
-	} else {
+	if poison {
 		for i := range cnt {
 			cnt[i] = 0xff
 		}
+	} else {
+		putUvarint10(cnt[:], count)
 	}
 	return append(hdr, cnt[:]...), nil
 }

@@ -89,6 +89,15 @@ func EventsThrough(src Source, day int32) (int64, bool) {
 			return int64(s.events), true
 		}
 		return int64(s.index[i].Event), true
+	case *SegFileSource:
+		if s.index == nil {
+			return 0, false
+		}
+		i := sort.Search(len(s.index), func(i int) bool { return s.index[i].Day > day })
+		if i == len(s.index) {
+			return int64(s.events), true
+		}
+		return int64(s.index[i].Event), true
 	case SliceSource:
 		return int64(sort.Search(len(s), func(i int) bool { return s[i].Day > day })), true
 	case TraceSource:

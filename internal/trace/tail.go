@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -64,6 +67,20 @@ type TailProbe struct {
 	// day barrier (or a reset) re-derives the sealed state by decoding
 
 	index []DayIndexEntry // first-event-of-day entries, entries never mutated
+
+	seg *segProbe // non-nil while probing a segmented (RRS1) file
+}
+
+// segProbe is the extra frontier state a segmented file needs: the scan
+// position in *file* coordinates (frames are fetched and checksummed
+// whole), while the inherited cur/sealed positions run in *raw-stream*
+// coordinates — the address space the day index and any snapshot source
+// operate in. Each complete frame is decompressed exactly once, when the
+// scan first crosses it.
+type segProbe struct {
+	frameOff int64 // file offset of the next unscanned frame
+	rawOff   int64 // raw-stream offset corresponding to frameOff
+	segs     []segEntry
 }
 
 // tailPos is one event boundary in the stream: a byte offset and how many
@@ -89,6 +106,7 @@ func (p *TailProbe) reset() {
 	p.trailingDay = -1
 	p.sealedValid = true
 	p.index = nil
+	p.seg = nil
 }
 
 // Probe re-examines the file and returns the current sealed-prefix
@@ -106,6 +124,15 @@ func (p *TailProbe) Probe() (*TailSnapshot, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
+	}
+	// Dispatch on the container magic: a segmented (compressed) file has
+	// its own frame-at-a-time probing path.
+	var mag [4]byte
+	if _, err := f.ReadAt(mag[:], 0); err != nil {
+		return nil, err // shorter than a magic: not probeable yet
+	}
+	if mag == segMagic {
+		return p.probeSeg(f, fi)
 	}
 	// The header is re-read every probe: an appender's Close back-patches
 	// it in place (and a from-scratch writer's header stays poisoned —
@@ -125,7 +152,7 @@ func (p *TailProbe) Probe() (*TailSnapshot, error) {
 		eventsEnd = footOff
 	}
 
-	fresh := p.fi == nil || !os.SameFile(p.fi, fi) || p.start != start || eventsEnd < p.cur.off
+	fresh := p.fi == nil || !os.SameFile(p.fi, fi) || p.seg != nil || p.start != start || eventsEnd < p.cur.off
 	if fresh {
 		p.reset()
 		p.start = start
@@ -208,6 +235,174 @@ func (p *TailProbe) Probe() (*TailSnapshot, error) {
 	return p.snapshot(finalized, anomaly), nil
 }
 
+// probeSeg is Probe for the segmented container. The sealing rule and
+// all tolerance properties are the flat path's; what differs is the unit
+// of progress: only *fully-flushed frames* are consumed. A frame whose
+// header or payload has not completely hit the disk is a torn tail to
+// wait out; a frame that is complete but fails its checksum is an
+// anomaly that never advances the frontier. Within each complete frame
+// the payload is checksum-verified, decompressed once, and its events
+// run through the same day-barrier sealing machine — so a day is sealed
+// only when a later-day event has been observed in some fully-flushed
+// frame (or the footer finalizes the file).
+func (p *TailProbe) probeSeg(f *os.File, fi os.FileInfo) (*TailSnapshot, error) {
+	hdr := make([]byte, fixedHeaderLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, err // header not fully written yet: back off
+	}
+	meta, count, hdrFinal, err := parseSegHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	// A mid-write header's count slot is poisoned; the probe treats the
+	// count as unknown (zero floor) and finds the extent by scanning.
+	if !hdrFinal {
+		count = 0
+	}
+	h := &segHandle{ra: f}
+
+	fresh := p.fi == nil || !os.SameFile(p.fi, fi) || p.seg == nil || fi.Size() < p.seg.frameOff
+	if fresh {
+		p.reset()
+		p.start = 0 // snapshot offsets run in raw-stream coordinates
+		p.seg = &segProbe{frameOff: int64(fixedHeaderLen)}
+		if hdrFinal {
+			// Finalized file on a clean slate: trust header and footer the
+			// way OpenSegFileSource does, skipping the O(events) decode.
+			if segs, idx, ok := readSegFooter(h, fi.Size()); ok {
+				var total uint64
+				rawEnd, frameEnd := int64(0), int64(fixedHeaderLen)
+				for _, s := range segs {
+					total += s.events
+					rawEnd = s.rawEnd()
+					frameEnd = s.fileEnd()
+				}
+				if total == count {
+					p.fi = fi
+					p.headerMeta, p.headerCount = meta, count
+					p.seg.segs = segs
+					p.seg.frameOff = frameEnd
+					p.seg.rawOff = rawEnd
+					p.cur = tailPos{off: rawEnd, count: count}
+					p.curMeta = meta
+					if len(segs) > 0 {
+						p.curDay = segs[len(segs)-1].lastDay
+					}
+					p.sealedValid = false
+					p.index = idx
+					return p.snapshot(true, nil), nil
+				}
+			}
+		}
+	}
+	p.fi = fi
+	p.headerMeta, p.headerCount = meta, count
+
+	var anomaly error
+	sp := p.seg
+scan:
+	for {
+		if fi.Size() < sp.frameOff+segFrameHdrLen {
+			break // no complete frame header yet: wait
+		}
+		var fh [segFrameHdrLen]byte
+		if err := h.readAt(fh[:], sp.frameOff); err != nil {
+			anomaly = err
+			break
+		}
+		if [4]byte(fh[:4]) != segFrameMagic {
+			break // the footer (or trailing garbage) starts here
+		}
+		seg := segEntry{
+			fileOff:    sp.frameOff,
+			compLen:    int64(binary.LittleEndian.Uint32(fh[4:])),
+			rawLen:     int64(binary.LittleEndian.Uint32(fh[8:])),
+			rawStart:   sp.rawOff,
+			events:     uint64(binary.LittleEndian.Uint32(fh[12:])),
+			firstEvent: p.cur.count,
+			firstDay:   int32(binary.LittleEndian.Uint32(fh[16:])),
+			lastDay:    int32(binary.LittleEndian.Uint32(fh[20:])),
+			prevDay:    int32(binary.LittleEndian.Uint32(fh[24:])),
+		}
+		ordinal := len(sp.segs)
+		if seg.compLen == 0 || seg.compLen > maxSegFrameLen || seg.rawLen == 0 || seg.rawLen > maxSegFrameLen ||
+			seg.events == 0 || int64(seg.events) > seg.rawLen || seg.prevDay != p.curDay {
+			anomaly = fmt.Errorf("%w: segment %d at byte %d: implausible frame header", ErrSegmentCorrupt, ordinal, sp.frameOff)
+			break
+		}
+		if fi.Size() < seg.fileEnd() {
+			break // torn frame write: wait for the rest
+		}
+		payload := make([]byte, seg.compLen)
+		if err := h.readAt(payload, sp.frameOff+segFrameHdrLen); err != nil {
+			anomaly = err
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(fh[28:]) {
+			anomaly = fmt.Errorf("%w: segment %d at byte %d: checksum mismatch", ErrSegmentCorrupt, ordinal, sp.frameOff)
+			break
+		}
+		// Decode the whole frame before applying any of it, so a frame
+		// that fails mid-decode leaves the frontier exactly where it was.
+		raw, ierr := inflateFrame(payload, seg)
+		if ierr != nil {
+			anomaly = fmt.Errorf("%w: segment %d at byte %d: %v", ErrSegmentCorrupt, ordinal, sp.frameOff, ierr)
+			break
+		}
+		cr := &countingReader{r: bytes.NewReader(raw)}
+		br := bufio.NewReader(cr)
+		dec := resumeDecoder(br, p.headerMeta, seg.events, p.curDay)
+		evs := make([]Event, 0, seg.events)
+		offs := make([]int64, 0, seg.events)
+		for {
+			ev, ok, derr := dec.Next()
+			if derr != nil {
+				anomaly = fmt.Errorf("%w: segment %d at byte %d: %v", ErrSegmentCorrupt, ordinal, sp.frameOff, derr)
+				break scan
+			}
+			if !ok {
+				break
+			}
+			evs = append(evs, ev)
+			offs = append(offs, sp.rawOff+cr.n-int64(br.Buffered()))
+		}
+		if uint64(len(evs)) != seg.events || offs[len(offs)-1] != sp.rawOff+seg.rawLen {
+			anomaly = fmt.Errorf("%w: segment %d at byte %d: payload contradicts frame header", ErrSegmentCorrupt, ordinal, sp.frameOff)
+			break
+		}
+		for i, ev := range evs {
+			if !p.sealedValid && ev.Day <= p.curDay {
+				// Events continued past a trusted-finalized load (the file
+				// was rebuilt in place): rescan from scratch.
+				p.reset()
+				return p.Probe()
+			}
+			if p.cur.count == 0 || ev.Day > p.curDay {
+				p.sealed = p.cur
+				p.sealedMeta = p.curMeta
+				p.trailingDay = ev.Day
+				p.sealedValid = true
+				p.index = append(p.index, DayIndexEntry{
+					Day: ev.Day, Offset: p.cur.off, Event: p.cur.count, PrevDay: p.curDay,
+				})
+			}
+			p.curMeta.Accumulate(ev)
+			p.cur.count++
+			p.curDay = ev.Day
+			p.cur.off = offs[i]
+		}
+		sp.segs = append(sp.segs, seg)
+		sp.frameOff = seg.fileEnd()
+		sp.rawOff += seg.rawLen
+	}
+
+	finalized := false
+	if anomaly == nil && hdrFinal && p.cur.count == count {
+		_, _, finalized = readSegFooter(h, fi.Size())
+	}
+	return p.snapshot(finalized, anomaly), nil
+}
+
 // snapshot renders the probe's current state.
 func (p *TailProbe) snapshot(finalized bool, anomaly error) *TailSnapshot {
 	s := &TailSnapshot{
@@ -217,6 +412,9 @@ func (p *TailProbe) snapshot(finalized bool, anomaly error) *TailSnapshot {
 		FrontierEvents: int64(p.cur.count),
 		FrontierOffset: p.cur.off,
 		start:          p.start,
+	}
+	if p.seg != nil {
+		s.segs = p.seg.segs[:len(p.seg.segs):len(p.seg.segs)]
 	}
 	if p.cur.count == 0 {
 		s.FrontierDay = -1
@@ -318,6 +516,7 @@ type TailSnapshot struct {
 
 	start int64
 	index []DayIndexEntry
+	segs  []segEntry // non-nil for a segmented file; offsets above are raw-stream
 }
 
 // Source adapts the sealed prefix to a MetaSource. Cursors decode the
@@ -328,6 +527,19 @@ type TailSnapshot struct {
 func (s *TailSnapshot) Source() MetaSource {
 	if s.Events <= 0 {
 		return nil
+	}
+	if s.segs != nil {
+		// Sealed prefix of a segmented file: the count bound stops the
+		// decoder mid-stream, so frames past the sealed boundary are never
+		// fetched, let alone decompressed.
+		return &SegFileSource{
+			Path:   s.Path,
+			blob:   fileSegBlob{path: s.Path},
+			meta:   s.Meta,
+			events: uint64(s.Events),
+			segs:   s.segs,
+			index:  s.index,
+		}
 	}
 	return &tailSource{
 		path:   s.Path,
