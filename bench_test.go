@@ -11,8 +11,10 @@
 package repro
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -949,6 +951,111 @@ func BenchmarkStorage(b *testing.B) {
 
 // Silence unused-import gymnastics for packages used only in some benches.
 var _ = community.FeatureCount
+
+// BenchmarkReplayAllocs is the allocation-lean data plane's headline
+// (DESIGN.md §11): allocation counts for the two per-event hot paths —
+// decode and state apply — over the default preset, plus the peak live
+// heap of a full replay. The Decode arm is a hard gate, not just a
+// datapoint: the benchmark fails if a decode pass allocates at all per
+// event, so the CI bench smoke catches an allocation regression in the
+// decoder the moment it lands. The Apply arm's gate is amortized —
+// growth must come from capacity-doubling reservations (O(log n) per
+// pass), never per-event appends. -short swaps in the test-scale preset
+// for the CI smoke. BENCH_alloc.json tracks the datapoints.
+func BenchmarkReplayAllocs(b *testing.B) {
+	gcfg := gen.DefaultConfig()
+	if testing.Short() {
+		gcfg = gen.SmallConfig()
+	}
+	path := filepath.Join(b.TempDir(), "alloc.trace")
+	meta, err := gen.GenerateToFile(gcfg, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int(meta.Nodes + meta.Edges)
+	b.Logf("trace: %d nodes, %d edges (%d events)", meta.Nodes, meta.Edges, events)
+
+	b.Run("Decode", func(b *testing.B) {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<20)
+		pass := func() {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				b.Fatal(err)
+			}
+			br.Reset(f)
+			d, err := trace.NewDecoder(br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				_, ok, err := d.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+			if n != events {
+				b.Fatalf("decoded %d events, want %d", n, events)
+			}
+		}
+		// The gate: a whole decode pass may allocate only its fixed setup
+		// (decoder, meta) — zero per event. One extra allocation per event
+		// would overshoot this by four orders of magnitude.
+		allocs := testing.AllocsPerRun(1, pass)
+		if allocs > 64 {
+			b.Fatalf("decode pass allocated %.0f times for %d events (%.4f/event): decode must be zero-alloc per event",
+				allocs, events, allocs/float64(events))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pass()
+		}
+		b.ReportMetric(allocs/float64(events), "allocs/event")
+	})
+
+	b.Run("Apply", func(b *testing.B) {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass := func() *trace.State {
+			st := trace.NewState(0, 0)
+			for _, ev := range tr.Events {
+				if err := st.Apply(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return st
+		}
+		allocs := testing.AllocsPerRun(1, func() { pass() })
+		if allocs > 2048 {
+			b.Fatalf("apply pass allocated %.0f times for %d events (%.4f/event): growth must be amortized doubling, not per-event",
+				allocs, events, allocs/float64(events))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stop := samplePeakHeap()
+			st := pass()
+			peak := stop()
+			b.ReportMetric(peak, "peak-live-MB")
+			b.ReportMetric(float64(st.Graph.NumEdges()), "edges")
+		}
+		b.ReportMetric(allocs/float64(events), "allocs/event")
+	})
+}
 
 // BenchmarkParallelReplay measures the parallel shared pass end to end:
 // the full plan (every stage plus a 2-δ sweep) over a disk-backed trace

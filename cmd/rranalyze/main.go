@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -50,6 +51,8 @@ func main() {
 	distDays := flag.String("dist-days", "", "comma-separated days for size distributions (default: three late snapshot days)")
 	skip := flag.String("skip", "", "comma-separated stages to skip: metrics,evolution,community,merge")
 	validate := flag.Bool("validate", false, "stream-validate the trace's structural invariants before analyzing")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the pipeline run to this file")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -154,12 +157,47 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Profiling brackets the pipeline run explicitly rather than via
+	// defers: log.Fatalf exits without running defers, which would leave
+	// a truncated CPU profile on exactly the failing runs one wants to
+	// inspect.
+	var cpuOut *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpuOut = f
+	}
+
 	res, err := core.RunPlan(ctx, src, cfg, plan)
 	if *progress {
 		fmt.Fprintln(os.Stderr) // finish the \r progress line
 	}
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuOut.Close(); cerr != nil {
+			log.Printf("cpuprofile: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
 	}
 	if res.ResumedFromDay >= 0 {
 		if res.ResumedFromDay >= meta.Days-1 {

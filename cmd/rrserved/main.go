@@ -37,6 +37,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -67,6 +68,7 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "community snapshot cadence override")
 	distDays := flag.String("dist-days", "", "comma-separated size-distribution days (default: three late snapshot days of the trace at startup, pinned so refreshes keep resuming)")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, or error")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener (opt-in: profiling endpoints expose internals)")
 	flag.Parse()
 
 	var level slog.Level
@@ -192,7 +194,22 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		// net/http/pprof registers on http.DefaultServeMux in its init;
+		// mounting it explicitly keeps the endpoints off the default
+		// (non-pprof) configuration.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		log.Info("shutting down")

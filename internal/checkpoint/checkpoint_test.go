@@ -119,7 +119,8 @@ func sameState(t *testing.T, got, want *trace.State) {
 			got.Graph.NumNodes(), got.Graph.NumEdges(), want.Graph.NumNodes(), want.Graph.NumEdges())
 	}
 	for u := 0; u < want.Graph.NumNodes(); u++ {
-		g, w := got.Graph.Neighbors(graph.NodeID(u)), want.Graph.Neighbors(graph.NodeID(u))
+		g := got.Graph.AppendNeighbors(nil, graph.NodeID(u))
+		w := want.Graph.AppendNeighbors(nil, graph.NodeID(u))
 		if len(g) != len(w) {
 			t.Fatalf("node %d degree %d vs %d", u, len(g), len(w))
 		}

@@ -144,8 +144,9 @@ func Read(r io.Reader) (*File, error) {
 func EncodeState(e *Encoder, st *trace.State) {
 	n := st.Graph.NumNodes()
 	e.U64(uint64(n))
+	var ns []graph.NodeID
 	for u := 0; u < n; u++ {
-		ns := st.Graph.Neighbors(graph.NodeID(u))
+		ns = st.Graph.AppendNeighbors(ns[:0], graph.NodeID(u))
 		e.U64(uint64(len(ns)))
 		for _, v := range ns {
 			e.U64(uint64(v))
@@ -168,14 +169,16 @@ func DecodeState(d *Decoder) (*trace.State, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	adj := make([][]graph.NodeID, 0, capLen(n))
-	var ends int64
+	// The graph is rebuilt row by row straight into the arena structure
+	// (no intermediate [][]NodeID), preserving adjacency order exactly.
+	// Growth stays incremental with the decode, so a corrupt node count
+	// cannot force a huge up-front allocation.
+	g := graph.New(capLen(n))
 	for u := 0; u < n; u++ {
 		deg := d.Len()
 		if d.err != nil {
 			return nil, d.err
 		}
-		ns := make([]graph.NodeID, 0, capLen(deg))
 		for i := 0; i < deg; i++ {
 			v := d.U64()
 			if d.err != nil {
@@ -184,16 +187,17 @@ func DecodeState(d *Decoder) (*trace.State, error) {
 			if v >= uint64(n) {
 				return nil, d.fail(fmt.Errorf("%w: neighbor %d of %d nodes", ErrCorrupt, v, n))
 			}
-			ns = append(ns, graph.NodeID(v))
+			g.AppendArc(graph.NodeID(u), graph.NodeID(v))
 		}
-		ends += int64(deg)
-		adj = append(adj, ns)
 	}
-	if ends%2 != 0 {
+	if n > 0 {
+		g.EnsureNode(graph.NodeID(n - 1))
+	}
+	if g.Arcs()%2 != 0 {
 		return nil, d.fail(fmt.Errorf("%w: odd adjacency ends", ErrCorrupt))
 	}
 	st := &trace.State{
-		Graph:   graph.FromAdjacency(adj),
+		Graph:   g,
 		JoinDay: d.I32s(),
 		Day:     0,
 	}

@@ -107,22 +107,23 @@ func DiffState(parentNodes int, parentDeg []int32, cur *trace.State) (*StatePatc
 		return nil, fmt.Errorf("checkpoint: column lengths %d/%d for %d nodes", len(cur.JoinDay), len(cur.Origin), n)
 	}
 	p := &StatePatch{ParentNodes: parentNodes, Day: cur.Day}
+	var ns []graph.NodeID
 	for u := 0; u < parentNodes; u++ {
-		ns := cur.Graph.Neighbors(graph.NodeID(u))
+		deg := cur.Graph.Degree(graph.NodeID(u))
 		old := int(parentDeg[u])
-		if len(ns) < old {
-			return nil, fmt.Errorf("checkpoint: node %d degree shrank %d -> %d — not an extension", u, old, len(ns))
+		if deg < old {
+			return nil, fmt.Errorf("checkpoint: node %d degree shrank %d -> %d — not an extension", u, old, deg)
 		}
-		if len(ns) > old {
-			added := make([]graph.NodeID, len(ns)-old)
+		if deg > old {
+			ns = cur.Graph.AppendNeighbors(ns[:0], graph.NodeID(u))
+			added := make([]graph.NodeID, deg-old)
 			copy(added, ns[old:])
 			p.Grown = append(p.Grown, GrownNode{Node: int32(u), Added: added})
 		}
 	}
 	for u := parentNodes; u < n; u++ {
-		ns := cur.Graph.Neighbors(graph.NodeID(u))
-		row := make([]graph.NodeID, len(ns))
-		copy(row, ns)
+		deg := cur.Graph.Degree(graph.NodeID(u))
+		row := cur.Graph.AppendNeighbors(make([]graph.NodeID, 0, deg), graph.NodeID(u))
 		p.NewAdj = append(p.NewAdj, row)
 	}
 	p.JoinDay = append([]int32(nil), cur.JoinDay[parentNodes:]...)
@@ -130,11 +131,12 @@ func DiffState(parentNodes int, parentDeg []int32, cur *trace.State) (*StatePatc
 	return p, nil
 }
 
-// StateBuilder accumulates a base state plus a chain of patches in
-// mutable adjacency form, materializing the final graph exactly once —
-// resolving a k-deep delta chain costs one FromAdjacency, not k.
+// StateBuilder accumulates a base state plus a chain of patches directly
+// in a mutable arena graph — the replay state is append-only, so a patch
+// is exactly a sequence of arena appends. Resolving a k-deep delta chain
+// never materializes an intermediate per-node adjacency structure.
 type StateBuilder struct {
-	adj    [][]graph.NodeID
+	g      *graph.Graph
 	join   []int32
 	origin []trace.Origin
 	day    int32
@@ -142,25 +144,19 @@ type StateBuilder struct {
 
 // NewStateBuilder seeds a builder from a decoded full-checkpoint state.
 func NewStateBuilder(st *trace.State) *StateBuilder {
-	n := st.Graph.NumNodes()
-	b := &StateBuilder{
-		adj:    make([][]graph.NodeID, n),
+	return &StateBuilder{
+		g:      st.Graph.Clone(),
 		join:   append([]int32(nil), st.JoinDay...),
 		origin: append([]trace.Origin(nil), st.Origin...),
 		day:    st.Day,
 	}
-	for u := 0; u < n; u++ {
-		ns := st.Graph.Neighbors(graph.NodeID(u))
-		b.adj[u] = append([]graph.NodeID(nil), ns...)
-	}
-	return b
 }
 
 // Apply extends the builder with one patch. The patch's ParentNodes must
 // match the builder's current node count — patches apply in chain order.
 func (b *StateBuilder) Apply(p *StatePatch) error {
-	if p.ParentNodes != len(b.adj) {
-		return fmt.Errorf("checkpoint: patch expects %d parent nodes, state has %d", p.ParentNodes, len(b.adj))
+	if p.ParentNodes != b.g.NumNodes() {
+		return fmt.Errorf("checkpoint: patch expects %d parent nodes, state has %d", p.ParentNodes, b.g.NumNodes())
 	}
 	if len(p.JoinDay) != len(p.NewAdj) || len(p.Origin) != len(p.NewAdj) {
 		return fmt.Errorf("%w: patch column lengths %d/%d for %d new nodes", ErrCorrupt, len(p.JoinDay), len(p.Origin), len(p.NewAdj))
@@ -168,27 +164,35 @@ func (b *StateBuilder) Apply(p *StatePatch) error {
 	if p.Day < b.day {
 		return fmt.Errorf("%w: patch day %d before state day %d", ErrCorrupt, p.Day, b.day)
 	}
-	total := len(b.adj) + len(p.NewAdj)
+	total := b.g.NumNodes() + len(p.NewAdj)
 	prev := int32(-1)
-	for _, g := range p.Grown {
-		if g.Node <= prev || int(g.Node) >= p.ParentNodes {
-			return fmt.Errorf("%w: grown node %d out of order or range", ErrCorrupt, g.Node)
+	for _, gn := range p.Grown {
+		if gn.Node <= prev || int(gn.Node) >= p.ParentNodes {
+			return fmt.Errorf("%w: grown node %d out of order or range", ErrCorrupt, gn.Node)
 		}
-		prev = g.Node
-		for _, v := range g.Added {
+		prev = gn.Node
+		for _, v := range gn.Added {
 			if int(v) >= total || v < 0 {
 				return fmt.Errorf("%w: neighbor %d of %d nodes", ErrCorrupt, v, total)
 			}
 		}
-		b.adj[g.Node] = append(b.adj[g.Node], g.Added...)
+		for _, v := range gn.Added {
+			b.g.AppendArc(gn.Node, v)
+		}
 	}
-	for _, ns := range p.NewAdj {
+	for i, ns := range p.NewAdj {
+		u := graph.NodeID(p.ParentNodes + i)
 		for _, v := range ns {
 			if int(v) >= total || v < 0 {
 				return fmt.Errorf("%w: neighbor %d of %d nodes", ErrCorrupt, v, total)
 			}
 		}
-		b.adj = append(b.adj, append([]graph.NodeID(nil), ns...))
+		for _, v := range ns {
+			b.g.AppendArc(u, v)
+		}
+	}
+	if total > 0 {
+		b.g.EnsureNode(graph.NodeID(total - 1))
 	}
 	b.join = append(b.join, p.JoinDay...)
 	b.origin = append(b.origin, p.Origin...)
@@ -196,22 +200,18 @@ func (b *StateBuilder) Apply(p *StatePatch) error {
 	return nil
 }
 
-// State materializes the accumulated adjacency into a trace.State. The
-// builder must not be used afterwards (the columns are handed over, and
-// ends-parity is validated here like DecodeState does).
+// State materializes the accumulated state. The builder must not be used
+// afterwards (the graph and columns are handed over, and ends-parity is
+// validated here like DecodeState does).
 func (b *StateBuilder) State() (*trace.State, error) {
-	var ends int64
-	for _, ns := range b.adj {
-		ends += int64(len(ns))
-	}
-	if ends%2 != 0 {
+	if b.g.Arcs()%2 != 0 {
 		return nil, fmt.Errorf("%w: odd adjacency ends", ErrCorrupt)
 	}
-	if len(b.join) != len(b.adj) || len(b.origin) != len(b.adj) {
-		return nil, fmt.Errorf("%w: column lengths %d/%d for %d nodes", ErrCorrupt, len(b.join), len(b.origin), len(b.adj))
+	if len(b.join) != b.g.NumNodes() || len(b.origin) != b.g.NumNodes() {
+		return nil, fmt.Errorf("%w: column lengths %d/%d for %d nodes", ErrCorrupt, len(b.join), len(b.origin), b.g.NumNodes())
 	}
 	return &trace.State{
-		Graph:   graph.FromAdjacency(b.adj),
+		Graph:   b.g,
 		JoinDay: b.join,
 		Origin:  b.origin,
 		Day:     b.day,
@@ -225,7 +225,7 @@ func Degrees(st *trace.State) []int32 {
 	n := st.Graph.NumNodes()
 	deg := make([]int32, n)
 	for u := 0; u < n; u++ {
-		deg[u] = int32(len(st.Graph.Neighbors(graph.NodeID(u))))
+		deg[u] = int32(st.Graph.Degree(graph.NodeID(u)))
 	}
 	return deg
 }

@@ -186,16 +186,15 @@ func (s *UsersStage) Finish(st *trace.State) error {
 			out.LifetimesBySize[key] = append(out.LifetimesBySize[key], float64(a.lastEdge-st.JoinDay[u]))
 		}
 		if inComm {
-			neighbors := st.Graph.Neighbors(graph.NodeID(u))
-			if len(neighbors) > 0 {
+			if deg := st.Graph.Degree(graph.NodeID(u)); deg > 0 {
 				cu := nodeComm[graph.NodeID(u)]
 				inDeg := 0
-				for _, v := range neighbors {
+				st.Graph.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID) {
 					if cv, ok := nodeComm[v]; ok && cv == cu {
 						inDeg++
 					}
-				}
-				out.InRatioBySize[key] = append(out.InRatioBySize[key], float64(inDeg)/float64(len(neighbors)))
+				})
+				out.InRatioBySize[key] = append(out.InRatioBySize[key], float64(inDeg)/float64(deg))
 			}
 		}
 	}

@@ -21,12 +21,20 @@ import (
 type Stage struct {
 	opt Options
 
-	joinDay  []int32
-	edgeDays map[graph.NodeID][]int32
+	joinDay []int32
+	// edgeDays holds every edge day per user — the Fig 2b normalized-
+	// lifetime pass needs the full history, so it is inherently O(edges).
+	// It lives in a chunked-arena list collection (same layout as the
+	// graph's adjacency) instead of a map of slices: flat pointer-free
+	// backing arrays instead of per-user slice headers, bucket overhead,
+	// and append-doubling slack. lastEdge is a flat column with -1 for
+	// "no edge yet" (decoded days are never negative); a user has a
+	// history iff edgeDays.Len(u) > 0, which coincides with lastEdge >= 0.
+	edgeDays graph.Int32Lists
 	hasEdges bool
 
 	hists    []*stats.LogHistogram
-	lastEdge map[graph.NodeID]int32
+	lastEdge []int32
 
 	minAge   []MinAgeDay
 	curDay   int32
@@ -50,12 +58,10 @@ func NewStage(opt Options) *Stage {
 	}
 	sort.Slice(opt.MinAgeThresholds, func(i, j int) bool { return opt.MinAgeThresholds[i] < opt.MinAgeThresholds[j] })
 	s := &Stage{
-		opt:      opt,
-		edgeDays: map[graph.NodeID][]int32{},
-		hists:    make([]*stats.LogHistogram, len(opt.Buckets)),
-		lastEdge: map[graph.NodeID]int32{},
-		curDay:   -1,
-		dayHits:  make([]int64, len(opt.MinAgeThresholds)),
+		opt:     opt,
+		hists:   make([]*stats.LogHistogram, len(opt.Buckets)),
+		curDay:  -1,
+		dayHits: make([]int64, len(opt.MinAgeThresholds)),
 	}
 	for i := range s.hists {
 		s.hists[i], _ = stats.NewLogHistogram(1.35)
@@ -87,6 +93,33 @@ func (s *Stage) flushDay() {
 		fr[i] = float64(h) / float64(s.dayTotal)
 	}
 	s.minAge = append(s.minAge, MinAgeDay{Day: s.curDay, Frac: fr, Total: s.dayTotal})
+}
+
+// growLastEdge extends the lastEdge column to cover node u, filling new
+// entries with the no-edge sentinel. Amortized O(1) on the hot path.
+func (s *Stage) growLastEdge(u graph.NodeID) {
+	n := int(u) + 1
+	if n <= len(s.lastEdge) {
+		return
+	}
+	old := len(s.lastEdge)
+	if cap(s.lastEdge) < n {
+		c := 2 * cap(s.lastEdge)
+		if c < n {
+			c = n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		le := make([]int32, n, c)
+		copy(le, s.lastEdge)
+		s.lastEdge = le
+	} else {
+		s.lastEdge = s.lastEdge[:n]
+	}
+	for i := old; i < n; i++ {
+		s.lastEdge[i] = -1
+	}
 }
 
 func (s *Stage) bucketOf(age int32) int {
@@ -132,7 +165,8 @@ func (s *Stage) OnEvent(_ *trace.State, ev trace.Event) {
 		// Inter-arrival per endpoint.
 		for _, u := range [2]graph.NodeID{ev.U, ev.V} {
 			age := ev.Day - s.joinDay[u]
-			if last, ok := s.lastEdge[u]; ok {
+			s.growLastEdge(u)
+			if last := s.lastEdge[u]; last >= 0 {
 				gap := ev.Day - last
 				if gap > 0 {
 					if bi := s.bucketOf(age); bi >= 0 {
@@ -141,7 +175,7 @@ func (s *Stage) OnEvent(_ *trace.State, ev trace.Event) {
 				}
 			}
 			s.lastEdge[u] = ev.Day
-			s.edgeDays[u] = append(s.edgeDays[u], ev.Day)
+			s.edgeDays.Append(int(u), ev.Day)
 		}
 	}
 }
@@ -169,20 +203,26 @@ func (s *Stage) Finish(_ *trace.State) error {
 	hist := make([]float64, s.opt.LifetimeBins)
 	var users int
 	lastDay := s.curDay
-	for u, days := range s.edgeDays {
+	var days []int32
+	for u := 0; u < s.edgeDays.NumLists(); u++ {
+		nd := s.edgeDays.Len(u)
+		if nd == 0 {
+			continue
+		}
 		join := s.joinDay[u]
-		if len(days) < s.opt.MinDegree {
+		if nd < s.opt.MinDegree {
 			continue
 		}
 		if lastDay-join < s.opt.MinHistoryDays {
 			continue
 		}
-		last := days[len(days)-1]
+		last, _ := s.edgeDays.Last(u)
 		life := float64(last - join)
 		if life <= 0 {
 			continue
 		}
 		users++
+		days = s.edgeDays.AppendTo(days[:0], u)
 		for _, d := range days {
 			pos := float64(d-join) / life
 			bin := int(pos * float64(s.opt.LifetimeBins))
@@ -222,10 +262,25 @@ func (s *Stage) SaveState(w io.Writer) error {
 	e := checkpoint.NewEncoder(w)
 	e.U64(stageStateV1)
 	e.I32s(s.joinDay)
-	e.U64(uint64(len(s.edgeDays)))
-	for _, u := range checkpoint.SortedKeys(s.edgeDays) {
-		e.I32(u)
-		e.I32s(s.edgeDays[u])
+	// Non-empty lists serialize as (id, days) pairs in ascending id order
+	// — the exact bytes the former map-of-slices form emitted via
+	// SortedKeys, so checkpoints stay byte-identical across the
+	// representation change.
+	nLists := 0
+	for u := 0; u < s.edgeDays.NumLists(); u++ {
+		if s.edgeDays.Len(u) > 0 {
+			nLists++
+		}
+	}
+	e.U64(uint64(nLists))
+	var days []int32
+	for u := 0; u < s.edgeDays.NumLists(); u++ {
+		if s.edgeDays.Len(u) == 0 {
+			continue
+		}
+		e.I32(int32(u))
+		days = s.edgeDays.AppendTo(days[:0], u)
+		e.I32s(days)
 	}
 	e.Bool(s.hasEdges)
 	e.U64(uint64(len(s.hists)))
@@ -236,10 +291,18 @@ func (s *Stage) SaveState(w io.Writer) error {
 			e.I64(h.Counts[i])
 		}
 	}
-	e.U64(uint64(len(s.lastEdge)))
-	for _, u := range checkpoint.SortedKeys(s.lastEdge) {
-		e.I32(u)
-		e.I32(s.lastEdge[u])
+	nLast := 0
+	for _, d := range s.lastEdge {
+		if d >= 0 {
+			nLast++
+		}
+	}
+	e.U64(uint64(nLast))
+	for u, d := range s.lastEdge {
+		if d >= 0 {
+			e.I32(int32(u))
+			e.I32(d)
+		}
 	}
 	e.U64(uint64(len(s.minAge)))
 	for _, m := range s.minAge {
@@ -261,10 +324,16 @@ func (s *Stage) LoadState(r io.Reader) error {
 	}
 	s.joinDay = d.I32s()
 	n := d.Len()
-	s.edgeDays = make(map[graph.NodeID][]int32, min(n, 1<<16))
+	s.edgeDays = graph.Int32Lists{}
 	for i := 0; i < n && d.Err() == nil; i++ {
 		u := d.I32()
-		s.edgeDays[u] = d.I32s()
+		days := d.I32s()
+		if u < 0 {
+			return fmt.Errorf("evolution: checkpoint edgeDays id %d", u)
+		}
+		for _, day := range days {
+			s.edgeDays.Append(int(u), day)
+		}
 	}
 	s.hasEdges = d.Bool()
 	if hn := d.Len(); d.Err() == nil && hn != len(s.hists) {
@@ -280,10 +349,15 @@ func (s *Stage) LoadState(r io.Reader) error {
 		h.RestoreCounts(counts)
 	}
 	n = d.Len()
-	s.lastEdge = make(map[graph.NodeID]int32, min(n, 1<<16))
+	s.lastEdge = nil
 	for i := 0; i < n && d.Err() == nil; i++ {
 		u := d.I32()
-		s.lastEdge[u] = d.I32()
+		day := d.I32()
+		if u < 0 {
+			return fmt.Errorf("evolution: checkpoint lastEdge id %d", u)
+		}
+		s.growLastEdge(u)
+		s.lastEdge[u] = day
 	}
 	n = d.Len()
 	s.minAge = make([]MinAgeDay, 0, min(n, 1<<16))

@@ -430,14 +430,13 @@ func (s *sim) pickDestination(u graph.NodeID, t float64) (graph.NodeID, bool) {
 		return pool[s.rng.Intn(len(pool))], true
 	}
 
-	// Triangle closure: friend of a friend.
+	// Triangle closure: friend of a friend. The rng draw sequence matches
+	// the earlier slice-index form exactly: one Intn per hop.
 	if s.rng.Float64() < s.cfg.Attach.TriangleProb {
-		ns := s.g.Neighbors(u)
-		if len(ns) > 0 {
-			v := ns[s.rng.Intn(len(ns))]
-			ns2 := s.g.Neighbors(v)
-			if len(ns2) > 0 {
-				return ns2[s.rng.Intn(len(ns2))], true
+		if d := s.g.Degree(u); d > 0 {
+			v := s.g.NeighborAt(u, s.rng.Intn(d))
+			if d2 := s.g.Degree(v); d2 > 0 {
+				return s.g.NeighborAt(v, s.rng.Intn(d2)), true
 			}
 		}
 		// fall through when u has no two-hop neighborhood yet

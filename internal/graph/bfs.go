@@ -16,7 +16,7 @@ func (g *Graph) BFS(src NodeID) []int32 {
 // path-length estimator runs hundreds per snapshot) allocate nothing after
 // the first call. Pass nil slices on first use.
 func (g *Graph) BFSInto(src NodeID, dist []int32, queue []NodeID) ([]int32, []NodeID) {
-	n := len(g.adj)
+	n := len(g.deg)
 	if cap(dist) < n {
 		dist = make([]int32, n)
 	} else {
@@ -35,10 +35,16 @@ func (g *Graph) BFSInto(src NodeID, dist []int32, queue []NodeID) ([]int32, []No
 	dist[src] = 0
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, v := range g.adj[u] {
-			if dist[v] == Unreachable {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+		for it := g.Chunks(u); ; {
+			s := it.Next()
+			if s == nil {
+				break
+			}
+			for _, v := range s {
+				if dist[v] == Unreachable {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
 			}
 		}
 	}
@@ -50,11 +56,11 @@ func (g *Graph) BFSInto(src NodeID, dist []int32, queue []NodeID) ([]int32, []No
 // This supports the paper's inter-OSN distance experiment, which excludes
 // post-merge users and their edges (Fig 9c).
 func (g *Graph) BFSWithin(src NodeID, allowed func(NodeID) bool) []int32 {
-	dist := make([]int32, len(g.adj))
+	dist := make([]int32, len(g.deg))
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	if src < 0 || int(src) >= len(g.adj) {
+	if src < 0 || int(src) >= len(g.deg) {
 		return dist
 	}
 	queue := []NodeID{src}
@@ -62,15 +68,21 @@ func (g *Graph) BFSWithin(src NodeID, allowed func(NodeID) bool) []int32 {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] != Unreachable {
-				continue
+		for it := g.Chunks(u); ; {
+			s := it.Next()
+			if s == nil {
+				break
 			}
-			if allowed != nil && !allowed(v) {
-				continue
+			for _, v := range s {
+				if dist[v] != Unreachable {
+					continue
+				}
+				if allowed != nil && !allowed(v) {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
 			}
-			dist[v] = dist[u] + 1
-			queue = append(queue, v)
 		}
 	}
 	return dist
@@ -81,7 +93,7 @@ func (g *Graph) BFSWithin(src NodeID, allowed func(NodeID) bool) []int32 {
 // Target nodes themselves must be allowed to be reached. It returns
 // Unreachable when no target can be reached.
 func (g *Graph) ShortestToSet(src NodeID, target func(NodeID) bool, allowed func(NodeID) bool) int32 {
-	if src < 0 || int(src) >= len(g.adj) {
+	if src < 0 || int(src) >= len(g.deg) {
 		return Unreachable
 	}
 	if target(src) {
@@ -94,18 +106,24 @@ func (g *Graph) ShortestToSet(src NodeID, target func(NodeID) bool, allowed func
 		u := queue[0]
 		queue = queue[1:]
 		du := dist[u]
-		for _, v := range g.adj[u] {
-			if _, seen := dist[v]; seen {
-				continue
+		for it := g.Chunks(u); ; {
+			s := it.Next()
+			if s == nil {
+				break
 			}
-			if allowed != nil && !allowed(v) {
-				continue
+			for _, v := range s {
+				if _, seen := dist[v]; seen {
+					continue
+				}
+				if allowed != nil && !allowed(v) {
+					continue
+				}
+				if target(v) {
+					return du + 1
+				}
+				dist[v] = du + 1
+				queue = append(queue, v)
 			}
-			if target(v) {
-				return du + 1
-			}
-			dist[v] = du + 1
-			queue = append(queue, v)
 		}
 	}
 	return Unreachable

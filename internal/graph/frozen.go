@@ -4,14 +4,24 @@ package graph
 // snapshots. Analyses that only read a graph (Louvain, community tracking)
 // take a View, so the same code runs against the engine's evolving shared
 // graph and against an immutable snapshot of it fanned out to concurrent
-// workers. Implementations must return neighbors in insertion order — the
+// workers. Implementations must present neighbors in insertion order — the
 // analyses' determinism (and the engine/batch bit-identical equivalence)
 // depends on both implementations presenting the same adjacency order.
+//
+// The live Graph stores adjacency in chunked arenas and cannot hand out a
+// contiguous per-node slice, so the interface exposes adjacency as an
+// append-into-scratch form and a per-neighbor callback instead of a
+// `Neighbors() []NodeID` accessor. Frozen additionally offers a zero-copy
+// Neighbors on its concrete type for callers that hold one.
 type View interface {
 	NumNodes() int
 	NumEdges() int64
 	Degree(u NodeID) int
-	Neighbors(u NodeID) []NodeID
+	// AppendNeighbors appends u's neighbors to dst in insertion order and
+	// returns the extended slice.
+	AppendNeighbors(dst []NodeID, u NodeID) []NodeID
+	// ForEachNeighbor calls fn for each neighbor of u in insertion order.
+	ForEachNeighbor(u NodeID, fn func(v NodeID))
 	ForEachEdge(fn func(u, v NodeID))
 }
 
@@ -27,8 +37,8 @@ var (
 // day and hands the same Frozen to every per-δ detection worker.
 //
 // The layout is also compact: 8·(n+1) bytes of offsets plus 4·2m bytes of
-// targets, with none of the per-node slice headers or growth slack the
-// live adjacency structure carries.
+// targets, with none of the per-node chunk slack the live adjacency
+// arenas carry.
 type Frozen struct {
 	off   []int64  // off[u]..off[u+1] brackets u's targets; len n+1
 	tgt   []NodeID // both directions of every edge, grouped by source
@@ -39,17 +49,32 @@ type Frozen struct {
 // snapshot shares nothing with the graph; later AddEdge/AddNode calls do
 // not affect it.
 func (g *Graph) Freeze() *Frozen {
-	n := len(g.adj)
-	f := &Frozen{off: make([]int64, n+1), edges: g.edges}
-	for u, ns := range g.adj {
-		f.off[u+1] = f.off[u] + int64(len(ns))
+	n := len(g.deg)
+	f := &Frozen{off: make([]int64, n+1), edges: g.NumEdges()}
+	for u := 0; u < n; u++ {
+		f.off[u+1] = f.off[u] + int64(g.deg[u])
 	}
 	f.tgt = make([]NodeID, f.off[n])
-	for u, ns := range g.adj {
-		copy(f.tgt[f.off[u]:f.off[u+1]], ns)
+	for u := 0; u < n; u++ {
+		o := f.off[u]
+		for it := g.Chunks(NodeID(u)); ; {
+			s := it.Next()
+			if s == nil {
+				break
+			}
+			o += int64(copy(f.tgt[o:], s))
+		}
 	}
 	return f
 }
+
+// CSR exposes the snapshot's raw offsets and targets columns: node u's
+// neighbors are tgt[off[u]:off[u+1]], in insertion order. The slices alias
+// the snapshot and must not be modified. Readers that already want a CSR
+// of the unweighted simple graph (the Louvain level-0 build) can use the
+// columns directly instead of copying 8·(n+1)+4·2m bytes into an
+// identical layout.
+func (f *Frozen) CSR() (off []int64, tgt []NodeID) { return f.off, f.tgt }
 
 // NumNodes returns the number of nodes at freeze time.
 func (f *Frozen) NumNodes() int { return len(f.off) - 1 }
@@ -72,6 +97,19 @@ func (f *Frozen) Neighbors(u NodeID) []NodeID {
 		return nil
 	}
 	return f.tgt[f.off[u]:f.off[u+1]]
+}
+
+// AppendNeighbors appends u's neighbors to dst in insertion order and
+// returns the extended slice.
+func (f *Frozen) AppendNeighbors(dst []NodeID, u NodeID) []NodeID {
+	return append(dst, f.Neighbors(u)...)
+}
+
+// ForEachNeighbor calls fn for each neighbor of u in insertion order.
+func (f *Frozen) ForEachNeighbor(u NodeID, fn func(v NodeID)) {
+	for _, v := range f.Neighbors(u) {
+		fn(v)
+	}
 }
 
 // ForEachEdge calls fn once per undirected edge with u < v, in the same

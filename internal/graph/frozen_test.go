@@ -38,7 +38,7 @@ func TestFrozenMatchesLive(t *testing.T) {
 		if f.Degree(NodeID(u)) != g.Degree(NodeID(u)) {
 			t.Fatalf("node %d: degree %d vs %d", u, f.Degree(NodeID(u)), g.Degree(NodeID(u)))
 		}
-		fn, gn := f.Neighbors(NodeID(u)), g.Neighbors(NodeID(u))
+		fn, gn := f.Neighbors(NodeID(u)), g.AppendNeighbors(nil, NodeID(u))
 		if len(fn) != len(gn) {
 			t.Fatalf("node %d: neighbor count %d vs %d", u, len(fn), len(gn))
 		}

@@ -73,7 +73,7 @@ func TestDegreeOutOfRange(t *testing.T) {
 	if g.Degree(-1) != 0 || g.Degree(10) != 0 {
 		t.Fatal("out-of-range degree must be 0")
 	}
-	if g.Neighbors(-1) != nil || g.Neighbors(7) != nil {
+	if g.AppendNeighbors(nil, -1) != nil || g.AppendNeighbors(nil, 7) != nil {
 		t.Fatal("out-of-range neighbors must be nil")
 	}
 	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {

@@ -1,0 +1,136 @@
+package graph
+
+// Int32Lists is a collection of append-only int32 lists keyed by dense
+// non-negative indices, stored in the same chunked-arena layout as the
+// graph's adjacency: each list is a chain of fixed-size chunks carved from
+// a few large pointer-free backing arrays, with an 8-slot first chunk
+// (most lists stay short) and 16-slot overflow chunks. A million lists
+// cost a handful of heap objects the garbage collector never scans
+// element by element, instead of a million slice headers plus their
+// append-doubling slack — the same trade the adjacency arenas make, made
+// reusable for stage accumulators that keep a per-node history (the
+// evolution stage's per-user edge-day lists).
+//
+// Lists preserve append order exactly. The zero value is ready to use.
+// Int32Lists is not safe for concurrent mutation; concurrent reads are
+// safe.
+type Int32Lists struct {
+	// Per-list columns: head/tail chunk refs and length. Chunk refs pack
+	// arena index and size class as idx<<1 | class (0 small, 1 large);
+	// nilRef ends a chain. The tail chunk's fill is derivable from the
+	// length alone, so there is no per-chunk bookkeeping.
+	heads []int32
+	tails []int32
+	lens  []int32
+
+	small     []int32
+	smallNext []int32
+	large     []int32
+	largeNext []int32
+
+	total int64
+}
+
+// NumLists returns the number of lists (the highest touched index + 1).
+func (l *Int32Lists) NumLists() int { return len(l.lens) }
+
+// Total returns the total number of values across all lists.
+func (l *Int32Lists) Total() int64 { return l.total }
+
+// Len returns the length of list i, or 0 for out-of-range indices.
+func (l *Int32Lists) Len(i int) int {
+	if i < 0 || i >= len(l.lens) {
+		return 0
+	}
+	return int(l.lens[i])
+}
+
+// grow extends the per-list columns to cover index i.
+func (l *Int32Lists) grow(i int) {
+	n := i + 1
+	if n <= len(l.lens) {
+		return
+	}
+	l.heads = growInt32(l.heads, n, nilRef)
+	l.tails = growInt32(l.tails, n, nilRef)
+	l.lens = growInt32(l.lens, n, 0)
+}
+
+// Append appends v to list i, growing the collection to cover i. i must be
+// non-negative.
+func (l *Int32Lists) Append(i int, v int32) {
+	l.grow(i)
+	d := l.lens[i]
+	if d < smallSlots {
+		if d == 0 {
+			idx := int32(len(l.smallNext))
+			var zero [smallSlots]int32
+			l.small = append(l.small, zero[:]...)
+			l.smallNext = append(l.smallNext, nilRef)
+			ref := idx << 1
+			l.heads[i] = ref
+			l.tails[i] = ref
+		}
+		l.small[int(l.tails[i]>>1)*smallSlots+int(d)] = v
+	} else {
+		fill := (d - smallSlots) % largeSlots
+		if fill == 0 {
+			idx := int32(len(l.largeNext))
+			var zero [largeSlots]int32
+			l.large = append(l.large, zero[:]...)
+			l.largeNext = append(l.largeNext, nilRef)
+			ref := idx<<1 | 1
+			if l.tails[i]&1 == 0 {
+				l.smallNext[l.tails[i]>>1] = ref
+			} else {
+				l.largeNext[l.tails[i]>>1] = ref
+			}
+			l.tails[i] = ref
+		}
+		l.large[int(l.tails[i]>>1)*largeSlots+int(fill)] = v
+	}
+	l.lens[i] = d + 1
+	l.total++
+}
+
+// AppendTo appends list i's values to dst in append order and returns the
+// extended slice. Callers materializing many lists reuse one scratch
+// buffer (dst[:0]) so the copy is the only cost.
+func (l *Int32Lists) AppendTo(dst []int32, i int) []int32 {
+	if i < 0 || i >= len(l.lens) {
+		return dst
+	}
+	rem := l.lens[i]
+	for ref := l.heads[i]; rem > 0 && ref != nilRef; {
+		var s []int32
+		if ref&1 == 0 {
+			base := int(ref>>1) * smallSlots
+			s = l.small[base : base+smallSlots]
+			ref = l.smallNext[ref>>1]
+		} else {
+			base := int(ref>>1) * largeSlots
+			s = l.large[base : base+largeSlots]
+			ref = l.largeNext[ref>>1]
+		}
+		if int32(len(s)) > rem {
+			s = s[:rem]
+		}
+		rem -= int32(len(s))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Last returns the most recently appended value of list i; ok is false for
+// an empty or out-of-range list.
+func (l *Int32Lists) Last(i int) (v int32, ok bool) {
+	if i < 0 || i >= len(l.lens) || l.lens[i] == 0 {
+		return 0, false
+	}
+	d := l.lens[i] - 1
+	if d < smallSlots {
+		return l.small[int(l.heads[i]>>1)*smallSlots+int(d)], true
+	}
+	fill := (d - smallSlots) % largeSlots
+	return l.large[int(l.tails[i]>>1)*largeSlots+int(fill)], true
+}

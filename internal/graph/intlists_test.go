@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInt32ListsMatchesReference drives random appends against Int32Lists
+// and a plain [][]int32 oracle, checking every accessor at checkpoints:
+// the arena layout (chunk chains, size classes, tail fill derived from
+// length) must be invisible to readers.
+func TestInt32ListsMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var l Int32Lists
+		var ref [][]int32
+		check := func(step int) {
+			t.Helper()
+			if l.NumLists() != len(ref) {
+				t.Fatalf("seed %d step %d: NumLists %d, want %d", seed, step, l.NumLists(), len(ref))
+			}
+			var total int64
+			var scratch []int32
+			for i, want := range ref {
+				total += int64(len(want))
+				if l.Len(i) != len(want) {
+					t.Fatalf("seed %d step %d: Len(%d) = %d, want %d", seed, step, i, l.Len(i), len(want))
+				}
+				scratch = l.AppendTo(scratch[:0], i)
+				if len(scratch) != len(want) {
+					t.Fatalf("seed %d step %d: AppendTo(%d) len %d, want %d", seed, step, i, len(scratch), len(want))
+				}
+				for j, v := range want {
+					if scratch[j] != v {
+						t.Fatalf("seed %d step %d: list %d slot %d = %d, want %d", seed, step, i, j, scratch[j], v)
+					}
+				}
+				last, ok := l.Last(i)
+				if ok != (len(want) > 0) {
+					t.Fatalf("seed %d step %d: Last(%d) ok=%v with %d values", seed, step, i, ok, len(want))
+				}
+				if ok && last != want[len(want)-1] {
+					t.Fatalf("seed %d step %d: Last(%d) = %d, want %d", seed, step, i, last, want[len(want)-1])
+				}
+			}
+			if l.Total() != total {
+				t.Fatalf("seed %d step %d: Total %d, want %d", seed, step, l.Total(), total)
+			}
+		}
+		for step := 0; step < 3000; step++ {
+			// Skewed index choice so some lists cross both chunk-class
+			// boundaries (8 and 8+64) while others stay empty or short.
+			i := rng.Intn(40)
+			if rng.Intn(4) == 0 {
+				i = rng.Intn(3)
+			}
+			v := int32(rng.Intn(1 << 20))
+			l.Append(i, v)
+			for len(ref) <= i {
+				ref = append(ref, nil)
+			}
+			ref[i] = append(ref[i], v)
+			if step%500 == 499 {
+				check(step)
+			}
+		}
+		check(3000)
+		// Out-of-range reads are empty, not panics.
+		if l.Len(-1) != 0 || l.Len(1<<20) != 0 {
+			t.Fatalf("out-of-range Len not 0")
+		}
+		if got := l.AppendTo(nil, 1<<20); got != nil {
+			t.Fatalf("out-of-range AppendTo appended %v", got)
+		}
+		if _, ok := l.Last(-1); ok {
+			t.Fatalf("out-of-range Last ok")
+		}
+	}
+}

@@ -68,36 +68,70 @@ func (r *Result) Groups() [][]graph.NodeID {
 	return out
 }
 
-// wgraph is a weighted multigraph used for aggregation levels.
+// wgraph is a weighted multigraph. It has two storage forms:
+//
+//   - Level 0 (the input graph, all weights exactly 1): a compact CSR —
+//     off/tgt — with no self loops. A million-node snapshot costs two flat
+//     arrays instead of a million small maps, which used to be the single
+//     largest item on the replay heap.
+//   - Aggregation levels (a few thousand super-nodes with fractional
+//     weights): neighbor->weight maps, as before.
+//
+// Every weight in either form is a multiple of 0.5, which float64
+// represents exactly, so sums are independent of accumulation order and
+// the two forms produce bit-identical modularity and move decisions.
 type wgraph struct {
-	n     int
-	adj   []map[int32]float64 // neighbor -> weight, excluding self loops
-	self  []float64           // self-loop weight (intra-community weight)
-	deg   []float64           // weighted degree incl. 2*self
-	total float64             // 2m: sum of all degrees
+	n int
+	// Level-0 CSR form (off != nil): unit weights, no self loops.
+	off []int64
+	tgt []int32
+	// Aggregated map form.
+	adj  []map[int32]float64 // neighbor -> weight, excluding self loops
+	self []float64           // self-loop weight (intra-community weight)
+	deg  []float64           // weighted degree incl. 2*self
+
+	total float64 // 2m: sum of all degrees
+}
+
+// degree returns u's weighted degree in either storage form.
+func (w *wgraph) degree(u int32) float64 {
+	if w.off != nil {
+		return float64(w.off[u+1] - w.off[u])
+	}
+	return w.deg[u]
+}
+
+// selfWeight returns u's self-loop weight (always 0 at level 0).
+func (w *wgraph) selfWeight(u int32) float64 {
+	if w.off != nil {
+		return 0
+	}
+	return w.self[u]
 }
 
 func newWGraphFromGraph(g graph.View) *wgraph {
+	// A Frozen snapshot already *is* the level-0 CSR — same offsets/targets
+	// layout, same insertion order, simple graph with unit weights and no
+	// self loops — so alias its columns instead of copying them. The
+	// wgraph never mutates off/tgt (aggregation levels derive fresh
+	// super-graphs), and the result is bit-identical by construction: the
+	// arrays are the same ones a copy would have reproduced. This removes
+	// the single largest per-snapshot allocation of the δ-sweep.
+	if f, ok := g.(*graph.Frozen); ok {
+		off, tgt := f.CSR()
+		return &wgraph{n: f.NumNodes(), off: off, tgt: tgt, total: float64(off[len(off)-1])}
+	}
 	n := g.NumNodes()
-	w := &wgraph{
-		n:    n,
-		adj:  make([]map[int32]float64, n),
-		self: make([]float64, n),
-		deg:  make([]float64, n),
-	}
+	w := &wgraph{n: n, off: make([]int64, n+1)}
 	for u := 0; u < n; u++ {
-		ns := g.Neighbors(graph.NodeID(u))
-		if len(ns) == 0 {
-			continue
-		}
-		m := make(map[int32]float64, len(ns))
-		for _, v := range ns {
-			m[v] = 1
-		}
-		w.adj[u] = m
-		w.deg[u] = float64(len(ns))
-		w.total += float64(len(ns))
+		w.off[u+1] = w.off[u] + int64(g.Degree(graph.NodeID(u)))
 	}
+	tgt := make([]graph.NodeID, 0, w.off[n])
+	for u := 0; u < n; u++ {
+		tgt = g.AppendNeighbors(tgt, graph.NodeID(u))
+	}
+	w.tgt = tgt
+	w.total = float64(w.off[n])
 	return w
 }
 
@@ -113,7 +147,15 @@ func (w *wgraph) modularity(comm []int32) float64 {
 	tot := make([]float64, nc) // degree mass per community
 	for u := 0; u < w.n; u++ {
 		c := comm[u]
-		tot[c] += w.deg[u]
+		tot[c] += w.degree(int32(u))
+		if w.off != nil {
+			for i := w.off[u]; i < w.off[u+1]; i++ {
+				if comm[w.tgt[i]] == c {
+					in[c]++ // unit weight, counted from both sides → totals 2w
+				}
+			}
+			continue
+		}
 		in[c] += 2 * w.self[u]
 		for v, wt := range w.adj[u] {
 			if comm[v] == c {
@@ -259,7 +301,7 @@ func localMove(w *wgraph, init []int32, delta float64, rng *rand.Rand) []int32 {
 	// Community aggregates.
 	tot := make(map[int32]float64, w.n)
 	for u := 0; u < w.n; u++ {
-		tot[comm[u]] += w.deg[u]
+		tot[comm[u]] += w.degree(int32(u))
 	}
 
 	order := rng.Perm(w.n)
@@ -267,6 +309,11 @@ func localMove(w *wgraph, init []int32, delta float64, rng *rand.Rand) []int32 {
 	if m2 == 0 {
 		return comm
 	}
+	// links and keys are hoisted out of the node loop and wiped between
+	// nodes (a delete per touched key, not a rebuild) — the sweep visits
+	// every node every pass, so a fresh map per node dominated the
+	// allocation profile of large runs.
+	links := make(map[int32]float64, 64)
 	var keysBuf []int32
 
 	prevQ := w.modularity(comm)
@@ -277,34 +324,47 @@ func localMove(w *wgraph, init []int32, delta float64, rng *rand.Rand) []int32 {
 			cu := comm[u]
 			// Weights from u to each neighboring community, visited in
 			// sorted label order so that tie-breaking is deterministic.
-			links := map[int32]float64{}
 			keys := keysBuf[:0]
-			for v, wt := range w.adj[u] {
-				c := comm[v]
-				if _, seen := links[c]; !seen {
-					keys = append(keys, c)
+			if w.off != nil {
+				for i := w.off[u]; i < w.off[u+1]; i++ {
+					c := comm[w.tgt[i]]
+					if _, seen := links[c]; !seen {
+						keys = append(keys, c)
+					}
+					links[c]++ // unit weight
 				}
-				links[c] += wt
+			} else {
+				for v, wt := range w.adj[u] {
+					c := comm[v]
+					if _, seen := links[c]; !seen {
+						keys = append(keys, c)
+					}
+					links[c] += wt
+				}
 			}
 			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 			// Remove u from its community.
-			tot[cu] -= w.deg[u]
+			du := w.degree(u)
+			tot[cu] -= du
 			// Gain of joining community c (up to a constant factor):
 			// k_{u,in}(c) - tot_c * k_u / m2.
 			best := cu
-			bestGain := links[cu] - tot[cu]*w.deg[u]/m2
+			bestGain := links[cu] - tot[cu]*du/m2
 			for _, c := range keys {
 				if c == cu {
 					continue
 				}
-				gain := links[c] - tot[c]*w.deg[u]/m2
+				gain := links[c] - tot[c]*du/m2
 				if gain > bestGain+1e-12 {
 					best, bestGain = c, gain
 				}
 			}
+			for _, c := range keys {
+				delete(links, c)
+			}
 			keysBuf = keys
 			comm[u] = best
-			tot[best] += w.deg[u]
+			tot[best] += du
 			if best != cu {
 				moved = true
 			}
@@ -331,7 +391,21 @@ func (w *wgraph) aggregate(comm []int32, nc int) *wgraph {
 	}
 	for u := 0; u < w.n; u++ {
 		cu := comm[u]
-		out.self[cu] += w.self[u]
+		out.self[cu] += w.selfWeight(int32(u))
+		if w.off != nil {
+			for i := w.off[u]; i < w.off[u+1]; i++ {
+				cv := comm[w.tgt[i]]
+				if cv == cu {
+					out.self[cu] += 0.5 // unit weight seen from both sides
+					continue
+				}
+				if out.adj[cu] == nil {
+					out.adj[cu] = make(map[int32]float64)
+				}
+				out.adj[cu][cv]++
+			}
+			continue
+		}
 		for v, wt := range w.adj[u] {
 			cv := comm[v]
 			if cv == cu {

@@ -11,19 +11,24 @@ import (
 // spawn/join overhead outweighs the build.
 const prepareMinNodesPerWorker = 2048
 
-// PrepareWorkers is Prepare with the level-0 weighted-graph build fanned
-// out across at most `workers` goroutines over contiguous node ranges.
-// The result is bit-identical to Prepare's: each node's adjacency map,
-// self weight, and degree are pure per-node functions of g (disjoint
-// slice sections, no sharing), and the graph total is a sum of integer-
-// valued degrees — exact in float64 regardless of grouping — accumulated
-// per worker and reduced in worker-index order. workers <= 1, or a graph
-// too small to split profitably, falls back to the sequential Prepare.
+// PrepareWorkers is Prepare with the level-0 CSR build fanned out across
+// at most `workers` goroutines over contiguous node ranges. The offsets
+// column is a sequential prefix sum (cheap); the targets column is filled
+// in parallel, each worker writing the disjoint off[lo]..off[hi] region of
+// its node range. The result is bit-identical to Prepare's — the CSR is a
+// pure function of the adjacency, laid out in node order regardless of
+// which worker wrote which region. workers <= 1, or a graph too small to
+// split profitably, falls back to the sequential Prepare.
 //
 // g must be safe for concurrent reads: a graph.Frozen snapshot, or the
 // live graph at a quiescent barrier (graph.Graph documents concurrent
 // reads as safe).
 func PrepareWorkers(g graph.View, workers int) *Prepared {
+	// A Frozen snapshot aliases straight into the level-0 CSR (see
+	// newWGraphFromGraph) — nothing to build, sequential or otherwise.
+	if _, ok := g.(*graph.Frozen); ok {
+		return Prepare(g)
+	}
 	n := g.NumNodes()
 	if workers > n/prepareMinNodesPerWorker {
 		workers = n / prepareMinNodesPerWorker
@@ -31,13 +36,12 @@ func PrepareWorkers(g graph.View, workers int) *Prepared {
 	if workers <= 1 {
 		return Prepare(g)
 	}
-	w := &wgraph{
-		n:    n,
-		adj:  make([]map[int32]float64, n),
-		self: make([]float64, n),
-		deg:  make([]float64, n),
+	w := &wgraph{n: n, off: make([]int64, n+1)}
+	for u := 0; u < n; u++ {
+		w.off[u+1] = w.off[u] + int64(g.Degree(graph.NodeID(u)))
 	}
-	totals := make([]float64, workers)
+	w.tgt = make([]int32, w.off[n])
+	w.total = float64(w.off[n])
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -49,28 +53,16 @@ func PrepareWorkers(g graph.View, workers int) *Prepared {
 			continue
 		}
 		wg.Add(1)
-		go func(k, lo, hi int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			var t float64
+			// Full three-index cap: a degree mismatch would panic here
+			// instead of silently racing into the next worker's region.
+			dst := w.tgt[w.off[lo]:w.off[lo]:w.off[hi]]
 			for u := lo; u < hi; u++ {
-				ns := g.Neighbors(graph.NodeID(u))
-				if len(ns) == 0 {
-					continue
-				}
-				m := make(map[int32]float64, len(ns))
-				for _, v := range ns {
-					m[v] = 1
-				}
-				w.adj[u] = m
-				w.deg[u] = float64(len(ns))
-				t += float64(len(ns))
+				dst = g.AppendNeighbors(dst, graph.NodeID(u))
 			}
-			totals[k] = t
-		}(k, lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
-	for _, t := range totals {
-		w.total += t
-	}
 	return &Prepared{w: w}
 }

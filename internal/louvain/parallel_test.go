@@ -16,8 +16,8 @@ func bigRandomGraph(n, m int, seed int64) *graph.Graph {
 }
 
 // TestPrepareWorkersBitIdentical holds the fanned-out level-0 build to
-// the sequential Prepare, field by field: adjacency maps, self weights,
-// degrees, and the float total must match exactly, and a full RunPrepared
+// the sequential Prepare, field by field: the CSR offset and target
+// columns and the float total must match exactly, and a full RunPrepared
 // over both views must produce identical assignments and modularity.
 func TestPrepareWorkersBitIdentical(t *testing.T) {
 	g := bigRandomGraph(3*prepareMinNodesPerWorker+17, 6*prepareMinNodesPerWorker, 7)
@@ -27,11 +27,11 @@ func TestPrepareWorkersBitIdentical(t *testing.T) {
 		if par.w.n != seq.w.n || par.w.total != seq.w.total {
 			t.Fatalf("workers=%d: n=%d total=%v, want n=%d total=%v", workers, par.w.n, par.w.total, seq.w.n, seq.w.total)
 		}
-		if !reflect.DeepEqual(par.w.deg, seq.w.deg) || !reflect.DeepEqual(par.w.self, seq.w.self) {
-			t.Fatalf("workers=%d: deg/self diverged from Prepare", workers)
+		if !reflect.DeepEqual(par.w.off, seq.w.off) {
+			t.Fatalf("workers=%d: CSR offsets diverged from Prepare", workers)
 		}
-		if !reflect.DeepEqual(par.w.adj, seq.w.adj) {
-			t.Fatalf("workers=%d: adjacency diverged from Prepare", workers)
+		if !reflect.DeepEqual(par.w.tgt, seq.w.tgt) {
+			t.Fatalf("workers=%d: CSR targets diverged from Prepare", workers)
 		}
 
 		want, err := RunPrepared(seq, Options{Delta: 0.01, Seed: 3})

@@ -29,11 +29,11 @@ func AverageDegree(g *graph.Graph) float64 {
 // of pairs of u's neighbors that are themselves connected. Nodes with degree
 // < 2 have coefficient 0, matching the convention the paper inherits.
 func LocalClustering(g *graph.Graph, u graph.NodeID) float64 {
-	ns := g.Neighbors(u)
-	d := len(ns)
+	d := g.Degree(u)
 	if d < 2 {
 		return 0
 	}
+	ns := g.AppendNeighbors(make([]graph.NodeID, 0, d), u)
 	links := 0
 	for i := 0; i < d; i++ {
 		for j := i + 1; j < d; j++ {
@@ -73,14 +73,16 @@ func SampledClustering(g *graph.Graph, k int, rng *rand.Rand) float64 {
 // counting exactly the same linked pairs.
 type ClusteringSampler struct {
 	marks []bool
+	ns    []graph.NodeID // scratch: u's materialized neighbor list
 }
 
 func (c *ClusteringSampler) local(g *graph.Graph, u graph.NodeID) float64 {
-	ns := g.Neighbors(u)
-	d := len(ns)
+	d := g.Degree(u)
 	if d < 2 {
 		return 0
 	}
+	c.ns = g.AppendNeighbors(c.ns[:0], u)
+	ns := c.ns
 	if n := g.NumNodes(); cap(c.marks) < n {
 		c.marks = make([]bool, n)
 	} else {
@@ -92,9 +94,15 @@ func (c *ClusteringSampler) local(g *graph.Graph, u graph.NodeID) float64 {
 	// Every linked neighbor pair {v, w} is seen twice, once from each side.
 	links := 0
 	for _, v := range ns {
-		for _, w := range g.Neighbors(v) {
-			if c.marks[w] {
-				links++
+		for it := g.Chunks(v); ; {
+			s := it.Next()
+			if s == nil {
+				break
+			}
+			for _, w := range s {
+				if c.marks[w] {
+					links++
+				}
 			}
 		}
 	}

@@ -33,9 +33,16 @@ type Stage struct {
 	mergeDay int32
 	lastDay  int32
 
-	lastEdge map[graph.NodeID]int32
-	gapSum   map[graph.NodeID]int64
-	gapN     map[graph.NodeID]int64
+	// Per-user inter-arrival accumulators, flat columns indexed by dense
+	// node id and grown together on demand: lastEdge[u] is the day of u's
+	// most recent edge (-1 before the first — decoded days are never
+	// negative), gapSum/gapN the running gap statistics (a user has gap
+	// state iff gapN[u] > 0). Columns instead of maps keeps a million
+	// touched users at 20 bytes each with no bucket overhead or rehash
+	// churn on the per-event hot path.
+	lastEdge []int32
+	gapSum   []int64
+	gapN     []int64
 	post     []postEdge
 
 	src       *stats.Source
@@ -69,11 +76,45 @@ func NewStage(mergeDay int32, opt Options) *Stage {
 		opt:      opt,
 		mergeDay: mergeDay,
 		lastDay:  -1,
-		lastEdge: map[graph.NodeID]int32{},
-		gapSum:   map[graph.NodeID]int64{},
-		gapN:     map[graph.NodeID]int64{},
 		src:      src,
 		rng:      rand.New(src),
+	}
+}
+
+// growGaps extends the per-user gap columns to cover node u, filling new
+// lastEdge entries with the no-edge sentinel. The no-grow path is
+// allocation free; growth at least doubles capacity so the per-event hot
+// path stays amortized O(1). The three columns always grow in lockstep.
+func (s *Stage) growGaps(u graph.NodeID) {
+	n := int(u) + 1
+	if n <= len(s.lastEdge) {
+		return
+	}
+	old := len(s.lastEdge)
+	if cap(s.lastEdge) < n {
+		c := 2 * cap(s.lastEdge)
+		if c < n {
+			c = n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		le := make([]int32, n, c)
+		copy(le, s.lastEdge)
+		s.lastEdge = le
+		gs := make([]int64, n, c)
+		copy(gs, s.gapSum)
+		s.gapSum = gs
+		gn := make([]int64, n, c)
+		copy(gn, s.gapN)
+		s.gapN = gn
+	} else {
+		s.lastEdge = s.lastEdge[:n]
+		s.gapSum = s.gapSum[:n]
+		s.gapN = s.gapN[:n]
+	}
+	for i := old; i < n; i++ {
+		s.lastEdge[i] = -1
 	}
 }
 
@@ -110,7 +151,8 @@ func (s *Stage) OnEvent(_ *trace.State, ev trace.Event) {
 		return
 	}
 	for _, u := range [2]graph.NodeID{ev.U, ev.V} {
-		if last, ok := s.lastEdge[u]; ok {
+		s.growGaps(u)
+		if last := s.lastEdge[u]; last >= 0 {
 			s.gapSum[u] += int64(ev.Day - last)
 			s.gapN[u]++
 		}
@@ -397,20 +439,43 @@ func (s *Stage) SaveState(w io.Writer) error {
 	e := checkpoint.NewEncoder(w)
 	e.U64(stageStateV1)
 	e.I32(s.lastDay)
-	e.U64(uint64(len(s.lastEdge)))
-	for _, u := range checkpoint.SortedKeys(s.lastEdge) {
-		e.I32(u)
-		e.I32(s.lastEdge[u])
+	// The columns serialize as sparse (id, value) pairs in ascending id
+	// order — the exact bytes the former map form emitted via SortedKeys,
+	// so checkpoints stay byte-identical across the representation change.
+	// A user is present in lastEdge iff it has seen an edge (>= 0), and in
+	// gapSum/gapN iff it has at least one gap (the two always co-exist).
+	nLast := 0
+	for _, d := range s.lastEdge {
+		if d >= 0 {
+			nLast++
+		}
 	}
-	e.U64(uint64(len(s.gapSum)))
-	for _, u := range checkpoint.SortedKeys(s.gapSum) {
-		e.I32(u)
-		e.I64(s.gapSum[u])
+	e.U64(uint64(nLast))
+	for u, d := range s.lastEdge {
+		if d >= 0 {
+			e.I32(int32(u))
+			e.I32(d)
+		}
 	}
-	e.U64(uint64(len(s.gapN)))
-	for _, u := range checkpoint.SortedKeys(s.gapN) {
-		e.I32(u)
-		e.I64(s.gapN[u])
+	nGap := 0
+	for _, n := range s.gapN {
+		if n > 0 {
+			nGap++
+		}
+	}
+	e.U64(uint64(nGap))
+	for u, n := range s.gapN {
+		if n > 0 {
+			e.I32(int32(u))
+			e.I64(s.gapSum[u])
+		}
+	}
+	e.U64(uint64(nGap))
+	for u, n := range s.gapN {
+		if n > 0 {
+			e.I32(int32(u))
+			e.I64(n)
+		}
 	}
 	e.U64(uint64(len(s.post)))
 	for _, p := range s.post {
@@ -437,23 +502,36 @@ func (s *Stage) LoadState(r io.Reader) error {
 		return fmt.Errorf("osnmerge: checkpoint state version %d", v)
 	}
 	s.lastDay = d.I32()
+	s.lastEdge, s.gapSum, s.gapN = nil, nil, nil
 	n := d.Len()
-	s.lastEdge = make(map[graph.NodeID]int32, min(n, 1<<16))
 	for i := 0; i < n && d.Err() == nil; i++ {
 		u := d.I32()
-		s.lastEdge[u] = d.I32()
+		day := d.I32()
+		if u < 0 {
+			return fmt.Errorf("osnmerge: checkpoint lastEdge id %d", u)
+		}
+		s.growGaps(u)
+		s.lastEdge[u] = day
 	}
 	n = d.Len()
-	s.gapSum = make(map[graph.NodeID]int64, min(n, 1<<16))
 	for i := 0; i < n && d.Err() == nil; i++ {
 		u := d.I32()
-		s.gapSum[u] = d.I64()
+		v := d.I64()
+		if u < 0 {
+			return fmt.Errorf("osnmerge: checkpoint gapSum id %d", u)
+		}
+		s.growGaps(u)
+		s.gapSum[u] = v
 	}
 	n = d.Len()
-	s.gapN = make(map[graph.NodeID]int64, min(n, 1<<16))
 	for i := 0; i < n && d.Err() == nil; i++ {
 		u := d.I32()
-		s.gapN[u] = d.I64()
+		v := d.I64()
+		if u < 0 {
+			return fmt.Errorf("osnmerge: checkpoint gapN id %d", u)
+		}
+		s.growGaps(u)
+		s.gapN[u] = v
 	}
 	n = d.Len()
 	s.post = make([]postEdge, 0, min(n, 1<<16))

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -180,6 +181,7 @@ func NewServer(ctx context.Context, opt Options) (*Server, error) {
 		runFigures: core.RunFigures,
 	}
 	s.RegisterStatz("storage", s.storageStats)
+	s.RegisterStatz("memory", memoryStats)
 	s.open = opt.Open
 	if s.open == nil {
 		// Frozen: the snapshot's source must keep replaying the days the
@@ -551,6 +553,38 @@ func (s *Server) observeCheckpoint(st core.CheckpointStat) {
 	s.ckptMu.Lock()
 	s.lastCkpt = &st
 	s.ckptMu.Unlock()
+}
+
+// memoryStats renders the /statz "memory" section: live-heap and
+// GC-pause gauges for the warm pass's resident state, plus the
+// process-wide inflated-frame cache counters — together they show
+// whether the allocation-lean data plane is holding (low GC activity)
+// and whether refresh re-opens are hitting the frame cache instead of
+// re-running flate.
+func memoryStats() any {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fc := trace.ReadFrameCacheStats()
+	return map[string]any{
+		"heap_alloc_bytes":  ms.HeapAlloc,
+		"heap_sys_bytes":    ms.HeapSys,
+		"heap_objects":      ms.HeapObjects,
+		"gc_cycles":         ms.NumGC,
+		"gc_pause_total_ns": ms.PauseTotalNs,
+		"gc_last_pause_ns":  ms.PauseNs[(ms.NumGC+255)%256],
+		"gc_cpu_fraction":   ms.GCCPUFraction,
+		"next_gc_bytes":     ms.NextGC,
+		"frame_cache": map[string]any{
+			"hits":           fc.Hits,
+			"misses":         fc.Misses,
+			"hit_bytes":      fc.HitBytes,
+			"inflated_bytes": fc.InflatedBytes,
+			"bytes":          fc.Bytes,
+			"entries":        fc.Entries,
+			"capacity_bytes": fc.Capacity,
+			"evictions":      fc.Evictions,
+		},
+	}
 }
 
 // storageStats renders the /statz "storage" section: the trace

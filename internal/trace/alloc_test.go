@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// TestDecodeAllocsPerEvent pins the decoder hot loop to zero allocations
+// per event: over a 20k-event stream the whole run — decoder construction
+// included — must stay within a small fixed budget, which is only possible
+// if Next itself never allocates. A regression that adds even one
+// allocation per event blows the bound by four orders of magnitude.
+func TestDecodeAllocsPerEvent(t *testing.T) {
+	tr := synthTrace(10000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	nEvents := len(tr.Events)
+
+	rd := bytes.NewReader(data)
+	br := bufio.NewReader(rd)
+	allocs := testing.AllocsPerRun(5, func() {
+		rd.Reset(data)
+		br.Reset(rd)
+		d, err := NewDecoder(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := d.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != nEvents {
+			t.Fatalf("decoded %d events, want %d", n, nEvents)
+		}
+	})
+	// Construction allocates the meta buffer, the parsed Meta, and the
+	// Decoder itself; the per-event loop must contribute nothing.
+	const setupBudget = 16
+	if allocs > setupBudget {
+		t.Fatalf("decode pass allocated %.0f times for %d events (budget %d): Decoder.Next is allocating per event", allocs, nEvents, setupBudget)
+	}
+}
+
+// TestApplyAllocsPerEvent pins State.Apply to amortized near-zero
+// allocations: growth must come from capacity-doubling reservations
+// (O(log n) allocations per pass), never from per-event appends.
+func TestApplyAllocsPerEvent(t *testing.T) {
+	tr := synthTrace(10000)
+	nEvents := len(tr.Events)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		st := NewState(0, 0)
+		for _, ev := range tr.Events {
+			if err := st.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.Graph.NumNodes() != 10000 {
+			t.Fatalf("replayed %d nodes", st.Graph.NumNodes())
+		}
+	})
+	// A doubling schedule over 10k nodes is ~14 growth steps for each of
+	// the node columns and arena pools; 256 leaves ample slack while still
+	// catching any O(n) allocation pattern (10k nodes → ≥10k allocs).
+	const budget = 256
+	if allocs > budget {
+		t.Fatalf("apply pass allocated %.0f times for %d events (budget %d): State.Apply is allocating per event", allocs, nEvents, budget)
+	}
+}

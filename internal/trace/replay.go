@@ -29,9 +29,31 @@ func (s *State) Apply(ev Event) error {
 	switch ev.Kind {
 	case AddNode:
 		s.Graph.EnsureNode(ev.U)
-		for int32(len(s.JoinDay)) <= int32(ev.U) {
-			s.JoinDay = append(s.JoinDay, ev.Day)
-			s.Origin = append(s.Origin, ev.Origin)
+		// Grow the columns to ev.U in one reservation (not one element
+		// at a time — this runs for every node-creation event). Nodes
+		// implicitly created to fill the gap inherit this event's day
+		// and origin, exactly as the old element-wise loop assigned them.
+		if n := int(ev.U) + 1; n > len(s.JoinDay) {
+			old := len(s.JoinDay)
+			if cap(s.JoinDay) < n || cap(s.Origin) < n {
+				c := 2 * cap(s.JoinDay)
+				if c < n {
+					c = n
+				}
+				jd := make([]int32, n, c)
+				copy(jd, s.JoinDay)
+				s.JoinDay = jd
+				og := make([]Origin, n, c)
+				copy(og, s.Origin)
+				s.Origin = og
+			} else {
+				s.JoinDay = s.JoinDay[:n]
+				s.Origin = s.Origin[:n]
+			}
+			for i := old; i < n; i++ {
+				s.JoinDay[i] = ev.Day
+				s.Origin[i] = ev.Origin
+			}
 		}
 		s.JoinDay[ev.U] = ev.Day
 		s.Origin[ev.U] = ev.Origin

@@ -822,6 +822,11 @@ type SegFileSource struct {
 	events uint64
 	segs   []segEntry
 	index  []DayIndexEntry // raw-stream offsets; nil when footer absent
+
+	// cacheID keys this container's frames in the process-wide inflated-
+	// frame cache; "" (backend/memory blobs) disables caching for this
+	// source. See framecache.go for the identity rules.
+	cacheID string
 }
 
 // OpenSegFileSource validates the header and footer of a segmented
@@ -901,7 +906,15 @@ func openSegBlob(blob segBlob, label string) (*SegFileSource, error) {
 			idx = nil
 		}
 	}
-	return &SegFileSource{blob: blob, meta: meta, events: count, segs: segs, index: idx}, nil
+	src := &SegFileSource{blob: blob, meta: meta, events: count, segs: segs, index: idx}
+	if fb, ok := blob.(fileSegBlob); ok {
+		// Path plus size plus event count: stable across re-opens of the
+		// same finalized container, distinct the moment the file grows or
+		// is rewritten in place (live-ingest tails), so stale frames are
+		// never served — they just age out of the LRU under a dead key.
+		src.cacheID = fmt.Sprintf("file:%s|%d|%d", fb.path, size, count)
+	}
+	return src, nil
 }
 
 // readSegFooter locates and parses the footer via the fixed trailer at
@@ -1063,7 +1076,7 @@ func (s *SegFileSource) openFrom(k int, discard int64, skipped uint64, prevDay i
 	if err != nil {
 		return nil, err
 	}
-	sr := &segStreamReader{h: h, segs: s.segs, next: k}
+	sr := &segStreamReader{h: h, segs: s.segs, next: k, cacheID: s.cacheID}
 	if discard > 0 {
 		if _, err := io.CopyN(io.Discard, sr, discard); err != nil {
 			h.Close()
@@ -1079,9 +1092,10 @@ func (s *SegFileSource) openFrom(k int, discard int64, skipped uint64, prevDay i
 // un-transposed, then served from memory. Corruption surfaces as
 // ErrSegmentCorrupt pinned to the segment ordinal and file byte offset.
 type segStreamReader struct {
-	h    *segHandle
-	segs []segEntry
-	next int // next frame to load
+	h       *segHandle
+	segs    []segEntry
+	next    int    // next frame to load
+	cacheID string // frame-cache identity; "" = uncached
 
 	raw   *bytes.Reader // current frame's raw bytes, nil between frames
 	frame []byte        // scratch: current frame's compressed payload
@@ -1117,6 +1131,15 @@ func (r *segStreamReader) Read(p []byte) (int, error) {
 // raw bytes.
 func (r *segStreamReader) loadFrame() error {
 	seg := r.segs[r.next]
+	key := frameCacheKey{blob: r.cacheID, off: seg.fileOff}
+	if raw, ok := segFrameCache.get(key); ok {
+		// Cache hit: the frame was fetched, CRC-verified, and inflated
+		// by an earlier cursor; serve the shared read-only bytes without
+		// touching the blob at all.
+		r.raw = bytes.NewReader(raw)
+		r.next++
+		return nil
+	}
 	need := segFrameHdrLen + int(seg.compLen)
 	if cap(r.frame) < need {
 		r.frame = make([]byte, need)
@@ -1138,6 +1161,8 @@ func (r *segStreamReader) loadFrame() error {
 	if err != nil {
 		return fmt.Errorf("%w: segment %d at byte %d: %v", ErrSegmentCorrupt, r.next, seg.fileOff, err)
 	}
+	segFrameCache.countMiss(seg.rawLen)
+	segFrameCache.put(key, raw)
 	r.raw = bytes.NewReader(raw)
 	r.next++
 	return nil

@@ -466,11 +466,11 @@ func (t *Tracker) recordFeatures(day int32, g graph.View, cur []*community, node
 		degSum := int64(0)
 		for _, u := range c.nodes {
 			degSum += int64(g.Degree(u))
-			for _, v := range g.Neighbors(u) {
+			g.ForEachNeighbor(u, func(v graph.NodeID) {
 				if nodeComm[v] == c.id {
 					intra++
 				}
-			}
+			})
 		}
 		inRatio := 0.0
 		if degSum > 0 {
